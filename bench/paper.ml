@@ -1,0 +1,77 @@
+(* The paper's published numbers (ASPLOS'14, Tables 1-4 and Section 5.1),
+   used as reference columns next to our measurements. *)
+
+(* Section 5.1 headline impact metrics, in percent (ratio is absolute). *)
+let ia_wait = 36.4
+let ia_run = 1.6
+let ia_opt = 26.0
+let propagation_ratio = 3.5
+
+let scenarios =
+  [
+    "AppAccessControl";
+    "AppNonResponsive";
+    "BrowserFrameCreate";
+    "BrowserTabClose";
+    "BrowserTabCreate";
+    "BrowserTabSwitch";
+    "MenuDisplay";
+    "WebPageNavigation";
+  ]
+
+(* Table 1: #instances, fast-class size, slow-class size. *)
+let table1 =
+  [
+    ("AppAccessControl", (1547, 598, 772));
+    ("AppNonResponsive", (631, 164, 392));
+    ("BrowserFrameCreate", (1304, 437, 707));
+    ("BrowserTabClose", (989, 134, 678));
+    ("BrowserTabCreate", (2491, 597, 1601));
+    ("BrowserTabSwitch", (2182, 1122, 914));
+    ("MenuDisplay", (743, 171, 499));
+    ("WebPageNavigation", (7725, 4203, 1175));
+  ]
+
+(* Table 2: driver cost %, ITC %, TTC %. *)
+let table2 =
+  [
+    ("AppAccessControl", (66.4, 18.9, 35.5));
+    ("AppNonResponsive", (64.6, 41.0, 48.7));
+    ("BrowserFrameCreate", (76.5, 24.1, 35.4));
+    ("BrowserTabClose", (21.9, 27.1, 38.0));
+    ("BrowserTabCreate", (51.3, 23.1, 35.3));
+    ("BrowserTabSwitch", (41.0, 7.8, 17.5));
+    ("MenuDisplay", (77.0, 39.2, 49.2));
+    ("WebPageNavigation", (34.7, 18.4, 28.5));
+  ]
+
+(* Table 3: #patterns, coverage of top 10/20/30 %. *)
+let table3 =
+  [
+    ("AppAccessControl", (4875, 55.3, 91.1, 98.3));
+    ("AppNonResponsive", (1158, 29.6, 39.2, 95.1));
+    ("BrowserFrameCreate", (1933, 51.6, 92.0, 96.8));
+    ("BrowserTabClose", (1075, 55.1, 90.0, 93.5));
+    ("BrowserTabCreate", (5045, 49.0, 87.5, 97.0));
+    ("BrowserTabSwitch", (1514, 42.3, 64.9, 98.0));
+    ("MenuDisplay", (1855, 64.5, 86.5, 91.9));
+    ("WebPageNavigation", (5122, 35.6, 89.3, 96.5));
+  ]
+
+(* Table 4: patterns (of the top 10) containing each driver type, in
+   Taxonomy.all_types column order. *)
+let table4 =
+  [
+    ("AppAccessControl", [ 9; 9; 0; 0; 0; 0; 0; 1; 0; 0 ]);
+    ("AppNonResponsive", [ 6; 2; 1; 2; 1; 1; 0; 0; 0; 1 ]);
+    ("BrowserFrameCreate", [ 7; 4; 2; 0; 1; 0; 0; 0; 0; 0 ]);
+    ("BrowserTabClose", [ 5; 6; 0; 2; 0; 0; 2; 0; 0; 0 ]);
+    ("BrowserTabCreate", [ 5; 6; 3; 2; 0; 1; 0; 0; 1; 0 ]);
+    ("BrowserTabSwitch", [ 6; 5; 3; 1; 0; 0; 0; 0; 0; 0 ]);
+    ("MenuDisplay", [ 2; 3; 7; 0; 2; 0; 0; 0; 0; 0 ]);
+    ("WebPageNavigation", [ 7; 3; 3; 1; 1; 0; 0; 0; 0; 0 ]);
+  ]
+
+(* Section 5.2.2: share of BrowserTabSwitch driver cost removed as
+   non-optimisable direct hardware service. *)
+let tab_switch_non_optimizable = 66.6

@@ -1,0 +1,699 @@
+(* driveperf — trace-based performance comprehension for device drivers.
+
+   Subcommands:
+     generate    synthesise a corpus (text .dpt or binary .dpb)
+     impact      impact analysis (with per-module / per-scenario breakdowns)
+     causality   causality analysis for one scenario
+     report      regenerate the paper's tables from a corpus
+     case        print the Figure 1 motivating case
+     validate    structural checks over a corpus file
+     stats       descriptive corpus statistics
+     dot         Graphviz export of a scenario's Aggregated Wait Graph
+     witness     trace a mined pattern back to concrete instances
+     timeline    ASCII thread timeline of a stream
+     anonymize   scrub names structure-preservingly
+     import-etw  convert an xperf-style dump
+     diff        compare mined patterns across two corpora
+     baseline    run the Section 6 baseline analyses
+     analyze     one-shot full analyst report *)
+
+open Cmdliner
+
+let is_binary_path path = Filename.check_suffix path ".dpb"
+
+let load_corpus path =
+  if is_binary_path path then Dptrace.Codec_binary.load path
+  else Dptrace.Codec.load path
+
+let save_corpus path corpus =
+  if is_binary_path path then Dptrace.Codec_binary.save path corpus
+  else Dptrace.Codec.save path corpus
+
+let read_corpus = function
+  | Some path -> load_corpus path
+  | None ->
+    Dpworkload.Corpus_gen.generate Dpworkload.Corpus_gen.default_config
+
+(* --- common options --- *)
+
+let corpus_arg =
+  let doc = "Corpus file (dptrace format). Generated on the fly if absent." in
+  Arg.(value & opt (some string) None & info [ "corpus"; "c" ] ~docv:"FILE" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed for corpus generation." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let scale_arg =
+  let doc = "Corpus scale: 1.0 targets one tenth of the paper's volumes." in
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"S" ~doc)
+
+let components_arg =
+  let doc = "Component wildcard patterns over module names." in
+  Arg.(value & opt (list string) [ "*.sys" ] & info [ "components" ] ~docv:"PATS" ~doc)
+
+let components_of pats =
+  match pats with
+  | [ "*.sys" ] -> Dpcore.Component.drivers
+  | pats -> Dpcore.Component.of_patterns pats
+
+(* --- generate --- *)
+
+let generate seed scale out =
+  let config = { Dpworkload.Corpus_gen.default_config with seed; scale } in
+  let corpus = Dpworkload.Corpus_gen.generate config in
+  save_corpus out corpus;
+  Format.printf "%a@.wrote %s (%s format)@." Dptrace.Corpus.pp_summary corpus
+    out
+    (if is_binary_path out then "binary" else "text");
+  0
+
+let generate_cmd =
+  let out =
+    Arg.(
+      value
+      & opt string "corpus.dpt"
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output path.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Synthesise a trace corpus")
+    Term.(const generate $ seed_arg $ scale_arg $ out)
+
+(* --- impact --- *)
+
+let impact corpus pats breakdown per_scenario =
+  let corpus = read_corpus corpus in
+  let components = components_of pats in
+  let r = Dpcore.Pipeline.run_impact components corpus in
+  Dputil.Table.print (Dpcore.Report.impact_summary r);
+  if breakdown then begin
+    let graphs =
+      Dpcore.Pipeline.build_graphs corpus (Dptrace.Corpus.all_instances corpus)
+    in
+    print_newline ();
+    Dputil.Table.print
+      (Dpcore.Report.module_breakdown (Dpcore.Impact.by_module components graphs))
+  end;
+  if per_scenario then begin
+    print_newline ();
+    Dputil.Table.print
+      (Dpcore.Report.scenario_impacts
+         (Dpcore.Pipeline.impact_per_scenario components corpus))
+  end;
+  0
+
+let impact_cmd =
+  let breakdown =
+    Arg.(
+      value & flag
+      & info [ "by-module" ]
+          ~doc:"Also print the per-driver-module attribution table.")
+  in
+  let per_scenario =
+    Arg.(
+      value & flag
+      & info [ "per-scenario" ] ~doc:"Also print the per-scenario IA table.")
+  in
+  Cmd.v
+    (Cmd.info "impact" ~doc:"Impact analysis (Section 3)")
+    Term.(const impact $ corpus_arg $ components_arg $ breakdown $ per_scenario)
+
+(* --- causality --- *)
+
+let causality corpus pats scenario k top =
+  let corpus = read_corpus corpus in
+  let components = components_of pats in
+  let r = Dpcore.Pipeline.run_scenario ~k components corpus scenario in
+  let f, m, s = Dpcore.Classify.counts r.Dpcore.Pipeline.classification in
+  Format.printf "scenario %s: %d instances (fast %d / middle %d / slow %d)@."
+    scenario (f + m + s) f m s;
+  let durations =
+    Dptrace.Corpus.instances_of corpus scenario
+    |> List.map (fun (_, i) ->
+           Dputil.Time.to_ms_float (Dptrace.Scenario.duration i))
+    |> Array.of_list
+  in
+  let spec = r.Dpcore.Pipeline.classification.Dpcore.Classify.spec in
+  print_string
+    (Dputil.Histogram.render_with_markers
+       ~markers:
+         [
+           ("T_fast", Dputil.Time.to_ms_float spec.Dptrace.Scenario.tfast);
+           ("T_slow", Dputil.Time.to_ms_float spec.Dptrace.Scenario.tslow);
+         ]
+       (Dputil.Histogram.create ~buckets:14 durations));
+  Format.printf "%s@." (Dpcore.Report.awg_summary r.Dpcore.Pipeline.slow_awg);
+  let mining = r.Dpcore.Pipeline.mining in
+  Format.printf
+    "meta-patterns: %d fast-class, %d slow-class; %d contrasts; %d contrast \
+     patterns@."
+    mining.Dpcore.Mining.fast_meta_count mining.Dpcore.Mining.slow_meta_count
+    (List.length mining.Dpcore.Mining.contrast_metas)
+    (List.length mining.Dpcore.Mining.patterns);
+  Format.printf "ITC=%s TTC=%s@."
+    (Dpcore.Report.pct r.Dpcore.Pipeline.coverages.Dpcore.Evaluation.itc)
+    (Dpcore.Report.pct r.Dpcore.Pipeline.coverages.Dpcore.Evaluation.ttc);
+  print_string (Dpcore.Report.top_patterns mining.Dpcore.Mining.patterns ~n:top);
+  0
+
+let causality_cmd =
+  let scenario =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SCENARIO" ~doc:"Scenario name, e.g. BrowserTabCreate.")
+  in
+  let k =
+    Arg.(
+      value & opt int Dpcore.Mining.default_k
+      & info [ "k" ] ~docv:"K" ~doc:"Maximum path-segment length.")
+  in
+  let top =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N" ~doc:"Patterns to print.")
+  in
+  Cmd.v
+    (Cmd.info "causality" ~doc:"Causality analysis (Section 4)")
+    Term.(const causality $ corpus_arg $ components_arg $ scenario $ k $ top)
+
+(* --- report --- *)
+
+let report corpus =
+  let corpus = read_corpus corpus in
+  let components = Dpcore.Component.drivers in
+  Dputil.Table.print
+    (Dpcore.Report.impact_summary (Dpcore.Pipeline.run_impact components corpus));
+  let named =
+    List.filter_map
+      (fun (tpl : Dpworkload.Scenarios.template) ->
+        let name = tpl.Dpworkload.Scenarios.spec.Dptrace.Scenario.name in
+        match Dpcore.Pipeline.run_scenario components corpus name with
+        | r -> Some (name, r)
+        | exception Not_found -> None)
+      Dpworkload.Scenarios.named
+  in
+  let classes = List.map (fun (n, r) -> (n, r.Dpcore.Pipeline.classification)) named in
+  print_newline ();
+  Dputil.Table.print (Dpcore.Report.scenario_classes classes);
+  print_newline ();
+  Dputil.Table.print (Dpcore.Report.coverages named);
+  print_newline ();
+  Dputil.Table.print (Dpcore.Report.ranking named);
+  print_newline ();
+  Dputil.Table.print
+    (Dpcore.Report.driver_types named
+       ~type_names:(List.map Dpworkload.Taxonomy.type_name Dpworkload.Taxonomy.all_types)
+       ~type_of:Dpworkload.Taxonomy.type_name_of_signature);
+  0
+
+let report_cmd =
+  Cmd.v
+    (Cmd.info "report" ~doc:"Regenerate the paper's tables")
+    Term.(const report $ corpus_arg)
+
+(* --- case --- *)
+
+let case () =
+  let case = Dpworkload.Motivating_case.build () in
+  print_string (Dpworkload.Motivating_case.describe case);
+  print_newline ();
+  print_string
+    (Dptrace.Timeline.render_instance case.Dpworkload.Motivating_case.stream
+       case.Dpworkload.Motivating_case.browser_instance);
+  print_newline ();
+  let wg =
+    Dpwaitgraph.Wait_graph.build case.Dpworkload.Motivating_case.stream
+      case.Dpworkload.Motivating_case.browser_instance
+  in
+  Format.printf "%a@." Dpwaitgraph.Wait_graph.pp wg;
+  let corpus = Dpworkload.Motivating_case.corpus () in
+  let r =
+    Dpcore.Pipeline.run_scenario Dpcore.Component.drivers corpus
+      "BrowserTabCreate"
+  in
+  print_endline "Aggregated Wait Graph of the slow class (Figure 2):";
+  print_string (Dpcore.Awg.render r.Dpcore.Pipeline.slow_awg);
+  print_endline "Top contrast patterns:";
+  print_string
+    (Dpcore.Report.top_patterns r.Dpcore.Pipeline.mining.Dpcore.Mining.patterns ~n:3);
+  0
+
+let case_cmd =
+  Cmd.v
+    (Cmd.info "case" ~doc:"Print the Figure 1 motivating case")
+    Term.(const case $ const ())
+
+(* --- validate --- *)
+
+let validate corpus =
+  let corpus = read_corpus corpus in
+  match Dptrace.Validate.check_corpus corpus with
+  | [] ->
+    Format.printf "%a@.OK: no violations@." Dptrace.Corpus.pp_summary corpus;
+    0
+  | violations ->
+    List.iter
+      (fun (sid, v) ->
+        Format.printf "stream %d: %a@." sid Dptrace.Validate.pp_violation v)
+      violations;
+    1
+
+let validate_cmd =
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Structural checks over a corpus")
+    Term.(const validate $ corpus_arg)
+
+(* --- dot --- *)
+
+let dot corpus scenario out =
+  let corpus = read_corpus corpus in
+  let r = Dpcore.Pipeline.run_scenario Dpcore.Component.drivers corpus scenario in
+  let text = Dpcore.Awg.to_dot r.Dpcore.Pipeline.slow_awg in
+  (match out with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc;
+    Printf.printf "wrote %s (render with: dot -Tsvg %s)\n" path path
+  | None -> print_string text);
+  0
+
+let dot_cmd =
+  let scenario =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SCENARIO" ~doc:"Scenario whose slow-class AWG to render.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output path (stdout if absent).")
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Render a scenario's Aggregated Wait Graph as Graphviz")
+    Term.(const dot $ corpus_arg $ scenario $ out)
+
+(* --- anonymize --- *)
+
+let anonymize corpus out mapping_out keep_scenarios =
+  let corpus = read_corpus corpus in
+  let anonymised, mapping = Dptrace.Anonymize.corpus ~keep_scenarios corpus in
+  save_corpus out anonymised;
+  (match mapping_out with
+  | Some path ->
+    let oc = open_out path in
+    List.iter (fun (a, b) -> Printf.fprintf oc "%s -> %s\n" a b) mapping;
+    close_out oc;
+    Printf.printf "wrote %s and mapping %s (%d renames)\n" out path
+      (List.length mapping)
+  | None -> Printf.printf "wrote %s (%d renames)\n" out (List.length mapping));
+  0
+
+let anonymize_cmd =
+  let out =
+    Arg.(
+      value
+      & opt string "anonymized.dpt"
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output corpus path.")
+  in
+  let mapping =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mapping" ] ~docv:"FILE" ~doc:"Where to write the rename table.")
+  in
+  let keep =
+    Arg.(value & flag & info [ "keep-scenarios" ] ~doc:"Preserve scenario names.")
+  in
+  Cmd.v
+    (Cmd.info "anonymize" ~doc:"Scrub driver/function/thread names from a corpus")
+    Term.(const anonymize $ corpus_arg $ out $ mapping $ keep)
+
+(* --- import-etw --- *)
+
+let import_etw input out specs =
+  let stream = Dptrace.Etw.load input in
+  let specs =
+    List.map
+      (fun spec_text ->
+        match String.split_on_char ':' spec_text with
+        | [ name; tfast; tslow ] ->
+          Dptrace.Scenario.spec ~name
+            ~tfast:(Dputil.Time.ms (int_of_string tfast))
+            ~tslow:(Dputil.Time.ms (int_of_string tslow))
+        | _ -> failwith ("bad --spec (want NAME:TFAST_MS:TSLOW_MS): " ^ spec_text))
+      specs
+  in
+  let corpus = Dptrace.Corpus.create ~streams:[ stream ] ~specs in
+  (match Dptrace.Validate.check_corpus corpus with
+  | [] -> ()
+  | violations ->
+    List.iter
+      (fun (sid, v) ->
+        Format.eprintf "warning: stream %d: %a@." sid Dptrace.Validate.pp_violation v)
+      violations);
+  save_corpus out corpus;
+  Format.printf "%a@.wrote %s@." Dptrace.Corpus.pp_summary corpus out;
+  0
+
+let import_etw_cmd =
+  let input =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"DUMP" ~doc:"xperf-style dump file (see Dptrace.Etw).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "imported.dpt"
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output corpus path.")
+  in
+  let specs =
+    Arg.(
+      value & opt_all string []
+      & info [ "spec" ] ~docv:"NAME:TFAST_MS:TSLOW_MS"
+          ~doc:"Scenario thresholds (repeatable).")
+  in
+  Cmd.v
+    (Cmd.info "import-etw" ~doc:"Convert an xperf-style dump to a corpus")
+    Term.(const import_etw $ input $ out $ specs)
+
+(* --- diff --- *)
+
+let diff before after scenario threshold =
+  let before_c = load_corpus before and after_c = load_corpus after in
+  let run c = Dpcore.Pipeline.run_scenario Dpcore.Component.drivers c scenario in
+  let rb = run before_c and ra = run after_c in
+  let entries =
+    Dpcore.Diff.compare_patterns ~threshold
+      ~before:rb.Dpcore.Pipeline.mining.Dpcore.Mining.patterns
+      ~after:ra.Dpcore.Pipeline.mining.Dpcore.Mining.patterns ()
+  in
+  Printf.printf "%s\n" (Dpcore.Diff.summary entries);
+  List.iter
+    (fun e ->
+      match e.Dpcore.Diff.change with
+      | Dpcore.Diff.Stable -> ()
+      | _ -> Format.printf "%a@." Dpcore.Diff.pp_entry e)
+    entries;
+  0
+
+let diff_cmd =
+  let before =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"BEFORE" ~doc:"Old corpus.")
+  in
+  let after =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"AFTER" ~doc:"New corpus.")
+  in
+  let scenario =
+    Arg.(required & pos 2 (some string) None & info [] ~docv:"SCENARIO" ~doc:"Scenario.")
+  in
+  let threshold =
+    Arg.(
+      value & opt float 1.5
+      & info [ "threshold" ] ~docv:"R" ~doc:"Avg-cost regression factor.")
+  in
+  Cmd.v
+    (Cmd.info "diff" ~doc:"Compare mined patterns across two corpora")
+    Term.(const diff $ before $ after $ scenario $ threshold)
+
+(* --- baseline --- *)
+
+let baseline corpus =
+  let corpus = read_corpus corpus in
+  let cg = Dpbaseline.Callgraph.profile corpus in
+  Format.printf "call-graph profile: total CPU %a, driver share %s@."
+    Dputil.Time.pp
+    (Dpbaseline.Callgraph.total_cpu cg)
+    (Dpcore.Report.pct
+       (Dpbaseline.Callgraph.fraction_matching cg (fun s ->
+            Dpcore.Component.matches_signature Dpcore.Component.drivers s)));
+  List.iter
+    (fun row -> Format.printf "  %a@." Dpbaseline.Callgraph.pp_row row)
+    (Dpbaseline.Callgraph.top cg ~n:8);
+  let lp = Dpbaseline.Lock_profiler.analyze corpus in
+  Format.printf "@.lock contention sites (total blocked %a):@." Dputil.Time.pp
+    (Dpbaseline.Lock_profiler.total_wait lp);
+  List.iter
+    (fun site -> Format.printf "  %a@." Dpbaseline.Lock_profiler.pp_site site)
+    (Dpbaseline.Lock_profiler.top lp ~n:8);
+  Format.printf "@.StackMine-style costly stack patterns:@.";
+  List.iter
+    (fun p -> Format.printf "  %a@." Dpbaseline.Stackmine.pp_pattern p)
+    (Dpbaseline.Stackmine.top (Dpbaseline.Stackmine.mine corpus) ~n:8);
+  0
+
+let baseline_cmd =
+  Cmd.v
+    (Cmd.info "baseline" ~doc:"Run the Section 6 baseline analyses")
+    Term.(const baseline $ corpus_arg)
+
+(* --- witness --- *)
+
+let witness corpus scenario rank limit =
+  let corpus = read_corpus corpus in
+  let r = Dpcore.Pipeline.run_scenario Dpcore.Component.drivers corpus scenario in
+  let patterns = r.Dpcore.Pipeline.mining.Dpcore.Mining.patterns in
+  match List.nth_opt patterns (rank - 1) with
+  | None ->
+    Printf.eprintf "only %d patterns mined for %s\n" (List.length patterns) scenario;
+    1
+  | Some pattern ->
+    Format.printf "pattern #%d:@.%a@.@." rank Dpcore.Mining.pp_pattern pattern;
+    let ws =
+      Dpcore.Explorer.witnesses ~limit Dpcore.Component.drivers corpus ~scenario
+        ~pattern ()
+    in
+    if ws = [] then print_endline "no witness instance found";
+    List.iter (fun w -> print_string (Dpcore.Explorer.render w)) ws;
+    (match ws with
+    | w :: _ ->
+      print_newline ();
+      print_string
+        (Dptrace.Timeline.render_instance w.Dpcore.Explorer.stream
+           w.Dpcore.Explorer.instance)
+    | [] -> ());
+    0
+
+let witness_cmd =
+  let scenario =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SCENARIO" ~doc:"Scenario name.")
+  in
+  let rank =
+    Arg.(
+      value & opt int 1
+      & info [ "rank" ] ~docv:"N" ~doc:"Which ranked pattern to trace back (1-based).")
+  in
+  let limit =
+    Arg.(value & opt int 3 & info [ "limit" ] ~docv:"N" ~doc:"Witnesses to print.")
+  in
+  Cmd.v
+    (Cmd.info "witness"
+       ~doc:"Trace a mined pattern back to concrete scenario instances")
+    Term.(const witness $ corpus_arg $ scenario $ rank $ limit)
+
+(* --- stats --- *)
+
+let stats corpus =
+  let corpus = read_corpus corpus in
+  print_string (Dptrace.Corpus_stats.render (Dptrace.Corpus_stats.compute corpus));
+  0
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Descriptive statistics of a corpus")
+    Term.(const stats $ corpus_arg)
+
+(* --- timeline --- *)
+
+let timeline corpus stream_id instance_index width =
+  let corpus = read_corpus corpus in
+  match
+    List.find_opt
+      (fun (st : Dptrace.Stream.t) -> st.Dptrace.Stream.id = stream_id)
+      corpus.Dptrace.Corpus.streams
+  with
+  | None ->
+    Printf.eprintf "no stream with id %d\n" stream_id;
+    1
+  | Some st -> (
+    match instance_index with
+    | None ->
+      print_string (Dptrace.Timeline.render ~width st);
+      0
+    | Some i -> (
+      match List.nth_opt st.Dptrace.Stream.instances i with
+      | Some inst ->
+        Format.printf "%a@." Dptrace.Scenario.pp_instance inst;
+        print_string (Dptrace.Timeline.render_instance ~width st inst);
+        0
+      | None ->
+        Printf.eprintf "stream %d has %d instances\n" stream_id
+          (List.length st.Dptrace.Stream.instances);
+        1))
+
+let timeline_cmd =
+  let stream_id =
+    Arg.(
+      required
+      & pos 0 (some int) None
+      & info [] ~docv:"STREAM" ~doc:"Stream id.")
+  in
+  let instance_index =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "instance" ] ~docv:"I" ~doc:"Zoom to the I-th instance (0-based).")
+  in
+  let width =
+    Arg.(value & opt int 72 & info [ "width" ] ~docv:"COLS" ~doc:"Timeline columns.")
+  in
+  Cmd.v
+    (Cmd.info "timeline" ~doc:"ASCII thread timeline of a trace stream")
+    Term.(const timeline $ corpus_arg $ stream_id $ instance_index $ width)
+
+(* --- analyze: the one-shot full report --- *)
+
+let analyze corpus_path out top_patterns_n =
+  let corpus = read_corpus corpus_path in
+  let components = Dpcore.Component.drivers in
+  let buf = Buffer.create 65536 in
+  let line fmt = Format.kasprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let block text =
+    Buffer.add_string buf "```\n";
+    Buffer.add_string buf text;
+    if text <> "" && text.[String.length text - 1] <> '\n' then
+      Buffer.add_char buf '\n';
+    Buffer.add_string buf "```\n\n"
+  in
+  line "# driveperf analysis report";
+  line "";
+  line "Corpus: %s"
+    (match corpus_path with Some p -> p | None -> "(generated, default config)");
+  line "";
+  line "## Corpus";
+  line "";
+  block (Dptrace.Corpus_stats.render (Dptrace.Corpus_stats.compute corpus));
+  line "## Impact analysis (device drivers)";
+  line "";
+  block (Dputil.Table.render (Dpcore.Report.impact_summary (Dpcore.Pipeline.run_impact components corpus)));
+  let graphs =
+    Dpcore.Pipeline.build_graphs corpus (Dptrace.Corpus.all_instances corpus)
+  in
+  block
+    (Dputil.Table.render
+       (Dpcore.Report.module_breakdown (Dpcore.Impact.by_module components graphs)));
+  block
+    (Dputil.Table.render
+       (Dpcore.Report.scenario_impacts
+          (Dpcore.Pipeline.impact_per_scenario components corpus)));
+  line "### Robustness";
+  line "";
+  block
+    (Format.asprintf "%a" Dpcore.Robustness.pp
+       (Dpcore.Robustness.bootstrap components corpus));
+  line "## Causality analysis";
+  (* Analyse every scenario with a spec and both classes non-empty. *)
+  List.iter
+    (fun name ->
+      match Dpcore.Pipeline.run_scenario components corpus name with
+      | exception Not_found -> ()
+      | r ->
+        let f, m, sl = Dpcore.Classify.counts r.Dpcore.Pipeline.classification in
+        if f > 0 && sl > 0 then begin
+          line "";
+          line "### %s" name;
+          line "";
+          line "- instances: %d (fast %d / middle %d / slow %d)" (f + m + sl) f m sl;
+          line "- %s" (Dpcore.Report.awg_summary r.Dpcore.Pipeline.slow_awg);
+          line "- ITC %s, TTC %s"
+            (Dpcore.Report.pct r.Dpcore.Pipeline.coverages.Dpcore.Evaluation.itc)
+            (Dpcore.Report.pct r.Dpcore.Pipeline.coverages.Dpcore.Evaluation.ttc);
+          line "";
+          let patterns = r.Dpcore.Pipeline.mining.Dpcore.Mining.patterns in
+          block (Dpcore.Report.top_patterns patterns ~n:top_patterns_n);
+          match patterns with
+          | top :: _ -> (
+            match
+              Dpcore.Explorer.witnesses ~limit:1 components corpus ~scenario:name
+                ~pattern:top ()
+            with
+            | w :: _ ->
+              line "Top-pattern witness:";
+              line "";
+              block
+                (Dpcore.Explorer.render w
+                ^ "\n"
+                ^ Dptrace.Timeline.render_instance w.Dpcore.Explorer.stream
+                    w.Dpcore.Explorer.instance)
+            | [] -> ())
+          | [] -> ()
+        end)
+    (Dptrace.Corpus.scenario_names corpus);
+  line "## What conventional tools would report";
+  line "";
+  let cg = Dpbaseline.Callgraph.profile corpus in
+  line "- CPU profiling: drivers are %s of total CPU (%s) — the wait-side \
+        impact above is invisible to it."
+    (Dpcore.Report.pct
+       (Dpbaseline.Callgraph.fraction_matching cg (fun s ->
+            Dpcore.Component.matches_signature components s)))
+    (Dputil.Time.to_string (Dpbaseline.Callgraph.total_cpu cg));
+  let lp = Dpbaseline.Lock_profiler.analyze corpus in
+  line "- Lock contention: %d isolated sites totalling %s of blocked time, \
+        with no links between them."
+    (List.length (Dpbaseline.Lock_profiler.sites lp))
+    (Dputil.Time.to_string (Dpbaseline.Lock_profiler.total_wait lp));
+  (match out with
+  | Some path ->
+    let oc = open_out path in
+    Buffer.output_buffer oc buf;
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+  | None -> Buffer.output_buffer stdout buf);
+  0
+
+let analyze_cmd =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write the report here (stdout if absent).")
+  in
+  let top =
+    Arg.(
+      value & opt int 5
+      & info [ "top" ] ~docv:"N" ~doc:"Patterns listed per scenario.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Produce the full analyst report (impact + causality + witnesses)")
+    Term.(const analyze $ corpus_arg $ out $ top)
+
+let main_cmd =
+  let doc = "trace-based performance comprehension for device drivers" in
+  let info = Cmd.info "driveperf" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [
+      generate_cmd;
+      impact_cmd;
+      causality_cmd;
+      report_cmd;
+      case_cmd;
+      validate_cmd;
+      dot_cmd;
+      anonymize_cmd;
+      import_etw_cmd;
+      diff_cmd;
+      baseline_cmd;
+      stats_cmd;
+      witness_cmd;
+      analyze_cmd;
+      timeline_cmd;
+    ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,82 @@
+(* The paper's motivating example (Section 2.2, Figures 1 and 2).
+
+   Reconstructs the six-thread BrowserTabCreate case — two lock-contention
+   regions (fv.sys File Table, fs.sys MDUs) bridged by hierarchical
+   dependencies down to se.sys and the disk — prints the restructured
+   thread snapshot, the victim's Wait Graph, the slow-class Aggregated
+   Wait Graph, and the mined contrast pattern, which should match the
+   paper's:
+
+     wait   {fv.sys!QueryFileTable, fs.sys!AcquireMDU}
+     unwait {fv.sys!QueryFileTable, fs.sys!AcquireMDU}
+     running {se.sys!ReadDecrypt, DiskService}
+
+   Run with: dune exec examples/browser_tab_create.exe *)
+
+module MC = Dpworkload.Motivating_case
+
+let () =
+  let case = MC.build () in
+  print_string (MC.describe case);
+  print_newline ();
+
+  print_endline "Thread timeline of the delay window (cf. Figure 1):";
+  print_string (Dptrace.Timeline.render_instance case.MC.stream case.MC.browser_instance);
+  print_newline ();
+
+  print_endline "Victim Wait Graph (restructured thread snapshot):";
+  let wg = Dpwaitgraph.Wait_graph.build case.MC.stream case.MC.browser_instance in
+  Format.printf "%a@.@." Dpwaitgraph.Wait_graph.pp wg;
+
+  (* Aggregate many jittered replicas and mine the contrast. *)
+  let corpus = MC.corpus () in
+  let r =
+    Dpcore.Pipeline.run_scenario Dpcore.Component.drivers corpus
+      "BrowserTabCreate"
+  in
+  print_endline "Aggregated Wait Graph of the slow class (cf. Figure 2):";
+  print_string (Dpcore.Awg.render r.Dpcore.Pipeline.slow_awg);
+  print_newline ();
+
+  print_endline "Top contrast patterns (ranked by P.C / P.N):";
+  print_string
+    (Dpcore.Report.top_patterns r.Dpcore.Pipeline.mining.Dpcore.Mining.patterns
+       ~n:3);
+
+  (* Check the paper's pattern was rediscovered. *)
+  (match r.Dpcore.Pipeline.mining.Dpcore.Mining.patterns with
+  | [] -> failwith "no contrast pattern discovered"
+  | top :: _ ->
+    let names =
+      List.map Dptrace.Signature.name
+        (Dpcore.Tuple.all_signatures top.Dpcore.Mining.tuple)
+    in
+    List.iter
+      (fun expected ->
+        if not (List.mem expected names) then
+          failwith (expected ^ " missing from the top pattern"))
+      MC.expected_pattern_signatures);
+  print_endline "\nOK: the paper's Signature Set Tuple was rediscovered.";
+
+  (* What the baselines would have said. *)
+  print_endline "\n--- Baseline comparison (Section 6) ---";
+  let cg = Dpbaseline.Callgraph.profile corpus in
+  Format.printf
+    "gprof-style profiler: total CPU is %a across the corpus — versus %a \
+     of UI-perceived delay per slow instance; the waits that constitute \
+     the delay are invisible to it.@."
+    Dputil.Time.pp
+    (Dpbaseline.Callgraph.total_cpu cg)
+    Dputil.Time.pp
+    (Dptrace.Scenario.duration case.MC.browser_instance);
+  let lp = Dpbaseline.Lock_profiler.analyze corpus in
+  print_endline
+    "single-lock contention analysis: four seemingly independent sites,";
+  List.iter
+    (fun site -> Format.printf "  %a@." Dpbaseline.Lock_profiler.pp_site site)
+    (Dpbaseline.Lock_profiler.top lp ~n:4);
+  print_endline
+    "  Each site is real, but nothing links the UI's fv.sys wait to the\n\
+    \  disk service four hops below — the cross-lock propagation chain\n\
+    \  (the actual diagnosis) is invisible to per-lock analysis.";
+  print_newline ()

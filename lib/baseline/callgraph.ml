@@ -1,0 +1,82 @@
+module Event = Dptrace.Event
+module Signature = Dptrace.Signature
+
+type row = {
+  signature : Signature.t;
+  exclusive : Dputil.Time.t;
+  inclusive : Dputil.Time.t;
+  samples : int;
+}
+
+type cell = {
+  mutable excl : Dputil.Time.t;
+  mutable incl : Dputil.Time.t;
+  mutable n : int;
+}
+
+type t = { cells : (Signature.t, cell) Hashtbl.t; mutable total : Dputil.Time.t }
+
+let cell t s =
+  match Hashtbl.find_opt t.cells s with
+  | Some c -> c
+  | None ->
+    let c = { excl = 0; incl = 0; n = 0 } in
+    Hashtbl.replace t.cells s c;
+    c
+
+let profile (corpus : Dptrace.Corpus.t) =
+  let t = { cells = Hashtbl.create 256; total = 0 } in
+  List.iter
+    (fun (st : Dptrace.Stream.t) ->
+      Array.iter
+        (fun (e : Event.t) ->
+          if Event.is_running e then begin
+            t.total <- t.total + e.cost;
+            let frames = Dptrace.Callstack.frames e.stack in
+            (match Dptrace.Callstack.top e.stack with
+            | Some topmost ->
+              let c = cell t topmost in
+              c.excl <- c.excl + e.cost;
+              c.n <- c.n + 1
+            | None -> ());
+            (* Inclusive: each distinct frame on the stack once. *)
+            let seen = Hashtbl.create 8 in
+            Array.iter
+              (fun f ->
+                if not (Hashtbl.mem seen f) then begin
+                  Hashtbl.replace seen f ();
+                  let c = cell t f in
+                  c.incl <- c.incl + e.cost
+                end)
+              frames
+          end)
+        st.Dptrace.Stream.events)
+    corpus.Dptrace.Corpus.streams;
+  t
+
+let total_cpu t = t.total
+
+let rows t =
+  Hashtbl.fold
+    (fun signature c acc ->
+      { signature; exclusive = c.excl; inclusive = c.incl; samples = c.n } :: acc)
+    t.cells []
+  |> List.sort (fun a b ->
+         match compare b.inclusive a.inclusive with
+         | 0 -> Signature.compare a.signature b.signature
+         | c -> c)
+
+let top t ~n = List.filteri (fun i _ -> i < n) (rows t)
+
+let fraction_matching t pred =
+  let matched =
+    Hashtbl.fold
+      (fun s c acc -> if pred s then acc + c.excl else acc)
+      t.cells 0
+  in
+  Dputil.Stats.ratio (float_of_int matched) (float_of_int t.total)
+
+let pp_row fmt r =
+  Format.fprintf fmt "%-40s excl=%a incl=%a n=%d"
+    (Signature.name r.signature)
+    Dputil.Time.pp r.exclusive Dputil.Time.pp r.inclusive r.samples

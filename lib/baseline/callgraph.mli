@@ -1,0 +1,35 @@
+(** Call-graph CPU profiling (gprof-style) — the first baseline of
+    Section 6.
+
+    Builds inclusive/exclusive CPU time per signature from running events
+    only. This is what a conventional profiler sees: it attributes cost to
+    whoever burns CPU and is structurally blind to waiting — on the
+    device-driver corpus it reports drivers at the [IA_run] level (≈2 %)
+    and cannot surface the ≈40 % wait-side impact, which is the paper's
+    first limitation of existing techniques. *)
+
+type row = {
+  signature : Dptrace.Signature.t;
+  exclusive : Dputil.Time.t;  (** CPU with this frame topmost. *)
+  inclusive : Dputil.Time.t;  (** CPU with this frame anywhere on stack. *)
+  samples : int;
+}
+
+type t
+
+val profile : Dptrace.Corpus.t -> t
+(** Aggregate running events across the whole corpus. *)
+
+val total_cpu : t -> Dputil.Time.t
+
+val rows : t -> row list
+(** Sorted by inclusive time, descending. *)
+
+val top : t -> n:int -> row list
+
+val fraction_matching : t -> (Dptrace.Signature.t -> bool) -> float
+(** Share of total CPU whose topmost frame satisfies the predicate — e.g.
+    the driver share of CPU, the only driver number this baseline can
+    produce. *)
+
+val pp_row : Format.formatter -> row -> unit

@@ -1,0 +1,103 @@
+module Event = Dptrace.Event
+module Signature = Dptrace.Signature
+
+type site = {
+  signature : Signature.t;
+  total_wait : Dputil.Time.t;
+  waiters : int;
+  max_wait : Dputil.Time.t;
+  holders : (Signature.t * int) list;
+}
+
+type cell = {
+  mutable wait : Dputil.Time.t;
+  mutable n : int;
+  mutable max_w : Dputil.Time.t;
+  holder_counts : (Signature.t, int) Hashtbl.t;
+}
+
+type t = { cells : (Signature.t, cell) Hashtbl.t; mutable total : Dputil.Time.t }
+
+(* The blocking site: the first frame below the synchronisation frames
+   (kernel!* / app-queue wrappers are where the thread sleeps, not where
+   the programmer takes the lock). *)
+let blocking_site (e : Event.t) =
+  let frames = Dptrace.Callstack.frames e.stack in
+  let is_wrapper f =
+    let m = Signature.module_part f in
+    m = "kernel" || m = "AvSvc" || m = "App"
+  in
+  let rec go i =
+    if i >= Array.length frames then Dptrace.Callstack.top e.stack
+    else if is_wrapper frames.(i) then go (i + 1)
+    else Some frames.(i)
+  in
+  go 0
+
+let analyze (corpus : Dptrace.Corpus.t) =
+  let t = { cells = Hashtbl.create 128; total = 0 } in
+  List.iter
+    (fun (st : Dptrace.Stream.t) ->
+      let idx = Dptrace.Stream.index st in
+      Array.iter
+        (fun (e : Event.t) ->
+          if Event.is_wait e then
+            match blocking_site e with
+            | None -> ()
+            | Some site_sig ->
+              t.total <- t.total + e.cost;
+              let c =
+                match Hashtbl.find_opt t.cells site_sig with
+                | Some c -> c
+                | None ->
+                  let c =
+                    { wait = 0; n = 0; max_w = 0; holder_counts = Hashtbl.create 8 }
+                  in
+                  Hashtbl.replace t.cells site_sig c;
+                  c
+              in
+              c.wait <- c.wait + e.cost;
+              c.n <- c.n + 1;
+              if e.cost > c.max_w then c.max_w <- e.cost;
+              (match Dptrace.Stream.find_waker idx e with
+              | Some u ->
+                (match Dptrace.Callstack.top u.Event.stack with
+                | Some h ->
+                  Hashtbl.replace c.holder_counts h
+                    (1 + Option.value ~default:0 (Hashtbl.find_opt c.holder_counts h))
+                | None -> ())
+              | None -> ()))
+        st.Dptrace.Stream.events)
+    corpus.Dptrace.Corpus.streams;
+  t
+
+let site_of signature (c : cell) =
+  let holders =
+    Hashtbl.fold (fun s n acc -> (s, n) :: acc) c.holder_counts []
+    |> List.sort (fun (sa, na) (sb, nb) ->
+           match compare nb na with 0 -> Signature.compare sa sb | x -> x)
+  in
+  { signature; total_wait = c.wait; waiters = c.n; max_wait = c.max_w; holders }
+
+let sites t =
+  Hashtbl.fold (fun s c acc -> site_of s c :: acc) t.cells []
+  |> List.sort (fun a b ->
+         match compare b.total_wait a.total_wait with
+         | 0 -> Signature.compare a.signature b.signature
+         | c -> c)
+
+let top t ~n = List.filteri (fun i _ -> i < n) (sites t)
+
+let total_wait t = t.total
+
+let attribution t s =
+  match Hashtbl.find_opt t.cells s with Some c -> c.wait | None -> 0
+
+let pp_site fmt s =
+  Format.fprintf fmt "%-36s waited=%a n=%d max=%a holders=[%s]"
+    (Signature.name s.signature)
+    Dputil.Time.pp s.total_wait s.waiters Dputil.Time.pp s.max_wait
+    (String.concat "; "
+       (List.map
+          (fun (h, n) -> Printf.sprintf "%s x%d" (Signature.name h) n)
+          (List.filteri (fun i _ -> i < 3) s.holders)))

@@ -1,0 +1,42 @@
+(** Single-lock contention analysis (Tallent et al.-style) — the second
+    baseline of Section 6.
+
+    Groups wait events by their blocking site: the topmost non-kernel
+    frame under the acquire frame, i.e. the function that tried to take
+    the lock. Per site it reports total blocked time, waiter count and
+    the unwaiting (holder-side) signatures.
+
+    This isolates each contention point in isolation, which is exactly
+    its limitation: on the Figure 1 case it reports the File Table region
+    (fv.sys) and the MDU region (fs.sys) as two unrelated entries, and
+    attributes {e nothing} to the disk service and se.sys decryption that
+    actually caused the delay — multi-lock propagation chains are
+    invisible (the paper's second limitation of existing techniques). *)
+
+type site = {
+  signature : Dptrace.Signature.t;  (** Where threads blocked. *)
+  total_wait : Dputil.Time.t;
+  waiters : int;
+  max_wait : Dputil.Time.t;
+  holders : (Dptrace.Signature.t * int) list;
+      (** Unwait-side signatures with occurrence counts, descending. *)
+}
+
+type t
+
+val analyze : Dptrace.Corpus.t -> t
+(** Pair every wait with its unwait and aggregate per blocking site. *)
+
+val sites : t -> site list
+(** Sorted by total blocked time, descending. *)
+
+val top : t -> n:int -> site list
+
+val total_wait : t -> Dputil.Time.t
+
+val attribution : t -> Dptrace.Signature.t -> Dputil.Time.t
+(** Blocked time attributed to the given site signature (0 if absent) —
+    used by the bench to show that deep-chain culprits receive no
+    attribution. *)
+
+val pp_site : Format.formatter -> site -> unit

@@ -1,0 +1,86 @@
+module Event = Dptrace.Event
+module Signature = Dptrace.Signature
+
+type pattern = {
+  frames : Signature.t list;
+  cost : Dputil.Time.t;
+  count : int;
+}
+
+type cell = { mutable cost : Dputil.Time.t; mutable count : int }
+
+let mine ?(min_cost = Dputil.Time.ms 1) ?(max_depth = 6) (corpus : Dptrace.Corpus.t) =
+  let table : (int list, cell) Hashtbl.t = Hashtbl.create 1024 in
+  let bump key cost =
+    let c =
+      match Hashtbl.find_opt table key with
+      | Some c -> c
+      | None ->
+        let c = { cost = 0; count = 0 } in
+        Hashtbl.replace table key c;
+        c
+    in
+    c.cost <- c.cost + cost;
+    c.count <- c.count + 1
+  in
+  List.iter
+    (fun (st : Dptrace.Stream.t) ->
+      Array.iter
+        (fun (e : Event.t) ->
+          if Event.is_wait e then begin
+            let frames = Dptrace.Callstack.frames e.stack in
+            let depth = min max_depth (Array.length frames) in
+            let prefix = ref [] in
+            for i = depth - 1 downto 0 do
+              prefix := Signature.to_int frames.(i) :: !prefix
+            done;
+            (* [!prefix] is frames.(0..depth-1); walk prefixes from the
+               longest down so each length is registered once. *)
+            let rec bump_prefixes = function
+              | [] -> ()
+              | key ->
+                bump key e.cost;
+                bump_prefixes
+                  (List.filteri (fun i _ -> i < List.length key - 1) key)
+            in
+            bump_prefixes !prefix
+          end)
+        st.Dptrace.Stream.events)
+    corpus.Dptrace.Corpus.streams;
+  (* Closedness: drop a prefix if some one-frame extension has identical
+     support — the extension is strictly more informative. *)
+  let closed key (c : cell) =
+    not
+      (Hashtbl.fold
+         (fun other (oc : cell) dominated ->
+           dominated
+           || List.length other = List.length key + 1
+              && List.filteri (fun i _ -> i < List.length key) other = key
+              && oc.count = c.count && oc.cost = c.cost)
+         table false)
+  in
+  Hashtbl.fold
+    (fun key c acc ->
+      if c.cost >= min_cost && closed key c then
+        {
+          frames = List.map Signature.of_int_unsafe key;
+          cost = c.cost;
+          count = c.count;
+        }
+        :: acc
+      else acc)
+    table []
+  |> List.sort (fun (a : pattern) (b : pattern) ->
+         match compare b.cost a.cost with
+         | 0 ->
+           compare
+             (List.map Signature.to_int a.frames)
+             (List.map Signature.to_int b.frames)
+         | c -> c)
+
+let top patterns ~n = List.filteri (fun i _ -> i < n) patterns
+
+let pp_pattern fmt p =
+  Format.fprintf fmt "[%s] cost=%a n=%d"
+    (String.concat " <- " (List.map Signature.name p.frames))
+    Dputil.Time.pp p.cost p.count

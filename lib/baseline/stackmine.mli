@@ -1,0 +1,34 @@
+(** StackMine-style costly-pattern mining (Han et al., ICSE'12) — the
+    paper's own earlier system, discussed in Section 6 as the
+    within-thread complement to the contrast mining built here.
+
+    StackMine discovers callstack patterns with high aggregate wait cost.
+    This implementation mines stack {e prefixes} (topmost-first fragments)
+    of wait events: every prefix of every wait stack accumulates the
+    event's cost; non-closed prefixes (those with an extension of
+    identical support) are dropped; survivors rank by total cost.
+
+    Its structural limitation — the reason the ASPLOS'14 paper extends
+    it — is visible on the Figure 1 corpus: it ranks
+    [fv.sys!QueryFileTable] waits highly but carries no unwait/running
+    side and no cross-thread link, so the se.sys/disk root cause never
+    appears in the pattern that an analyst would inspect. *)
+
+type pattern = {
+  frames : Dptrace.Signature.t list;  (** Topmost-first stack fragment. *)
+  cost : Dputil.Time.t;  (** Σ cost of wait events carrying the fragment. *)
+  count : int;  (** Number of supporting wait events. *)
+}
+
+val mine :
+  ?min_cost:Dputil.Time.t ->
+  ?max_depth:int ->
+  Dptrace.Corpus.t ->
+  pattern list
+(** Mine all streams' wait events. [min_cost] (default 1 ms) filters noise
+    patterns; [max_depth] (default 6) bounds fragment length. Result is
+    ranked by [cost], descending. *)
+
+val top : pattern list -> n:int -> pattern list
+
+val pp_pattern : Format.formatter -> pattern -> unit

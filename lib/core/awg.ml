@@ -1,0 +1,244 @@
+module Event = Dptrace.Event
+module Signature = Dptrace.Signature
+module Wait_graph = Dpwaitgraph.Wait_graph
+
+type status =
+  | Waiting of { wait_sig : Signature.t; unwait_sig : Signature.t }
+  | Running of Signature.t
+  | Hw of Signature.t
+
+type node = {
+  status : status;
+  mutable cost : Dputil.Time.t;
+  mutable count : int;
+  mutable max_cost : Dputil.Time.t;
+  children : (status, node) Hashtbl.t;
+}
+
+type reduction_stats = {
+  pruned_roots : int;
+  pruned_cost : Dputil.Time.t;
+  total_root_cost : Dputil.Time.t;
+}
+
+type t = {
+  forest : (status, node) Hashtbl.t;
+  mutable stats : reduction_stats;
+}
+
+(* Intermediate per-graph tree after irrelevant-node elimination and
+   wait/unwait merging; merged into the AWG trie on signature prefixes. *)
+type cnode = { cstatus : status; ccost : Dputil.Time.t; ckids : cnode list }
+
+let convert components (g : Wait_graph.t) =
+  let visited : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let rec conv (n : Wait_graph.node) : cnode list =
+    let e = n.Wait_graph.event in
+    if Hashtbl.mem visited e.Event.id then []
+    else begin
+      Hashtbl.replace visited e.Event.id ();
+      match e.Event.kind with
+      | Event.Unwait -> [] (* never a graph child; pairing held in [waker] *)
+      | Event.Running ->
+        (match Component.event_signature components e with
+        | Some s -> [ { cstatus = Running s; ccost = e.Event.cost; ckids = [] } ]
+        | None -> [])
+      | Event.Hw_service ->
+        (match Component.event_signature components e with
+        | Some s -> [ { cstatus = Hw s; ccost = e.Event.cost; ckids = [] } ]
+        | None -> [])
+      | Event.Wait ->
+        let kids () = List.concat_map conv n.Wait_graph.children in
+        (match Component.event_signature components e with
+        | None -> kids () (* irrelevant: promote children *)
+        | Some wait_sig ->
+          let unwait_sig =
+            match n.Wait_graph.waker with
+            | Some u -> Component.event_signature_or_top components u
+            | None -> Signature.of_string "<lost-unwait>"
+          in
+          [
+            {
+              cstatus = Waiting { wait_sig; unwait_sig };
+              ccost = e.Event.cost;
+              ckids = kids ();
+            };
+          ])
+    end
+  in
+  List.concat_map conv g.Wait_graph.roots
+
+let fresh_node status =
+  { status; cost = 0; count = 0; max_cost = 0; children = Hashtbl.create 4 }
+
+let rec merge_into table (c : cnode) =
+  let n =
+    match Hashtbl.find_opt table c.cstatus with
+    | Some n -> n
+    | None ->
+      let n = fresh_node c.cstatus in
+      Hashtbl.replace table c.cstatus n;
+      n
+  in
+  n.cost <- n.cost + c.ccost;
+  n.count <- n.count + 1;
+  if c.ccost > n.max_cost then n.max_cost <- c.ccost;
+  List.iter (merge_into n.children) c.ckids
+
+let is_hw_leaf n =
+  match n.status with Hw _ -> Hashtbl.length n.children = 0 | _ -> false
+
+(* Prune root waiting nodes whose only child is a hardware-service leaf:
+   raw hardware latency with no propagation is not actionable. *)
+let reduce_forest forest =
+  let pruned_roots = ref 0 and pruned_cost = ref 0 and total = ref 0 in
+  let victims = ref [] in
+  Hashtbl.iter
+    (fun status n ->
+      total := !total + n.cost;
+      match n.status with
+      | Waiting _ when Hashtbl.length n.children = 1 ->
+        let only = Hashtbl.fold (fun _ c _ -> Some c) n.children None in
+        (match only with
+        | Some c when is_hw_leaf c ->
+          incr pruned_roots;
+          pruned_cost := !pruned_cost + n.cost;
+          victims := status :: !victims
+        | Some _ | None -> ())
+      | Waiting _ | Running _ | Hw _ -> ())
+    forest;
+  List.iter (Hashtbl.remove forest) !victims;
+  {
+    pruned_roots = !pruned_roots;
+    pruned_cost = !pruned_cost;
+    total_root_cost = !total;
+  }
+
+let build ?(reduce = true) components graphs =
+  let forest : (status, node) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun g -> List.iter (merge_into forest) (convert components g))
+    graphs;
+  let stats =
+    if reduce then reduce_forest forest
+    else
+      let total = Hashtbl.fold (fun _ n acc -> acc + n.cost) forest 0 in
+      { pruned_roots = 0; pruned_cost = 0; total_root_cost = total }
+  in
+  { forest; stats }
+
+let sorted_nodes table =
+  Hashtbl.fold (fun _ n acc -> n :: acc) table []
+  |> List.sort (fun a b -> compare a.status b.status)
+
+let roots t = sorted_nodes t.forest
+
+let reduction t = t.stats
+
+let rec fold_node f acc n =
+  let acc = f acc n in
+  List.fold_left (fold_node f) acc (sorted_nodes n.children)
+
+let fold t ~init ~f = List.fold_left (fold_node f) init (roots t)
+
+let node_count t = fold t ~init:0 ~f:(fun acc _ -> acc + 1)
+
+let total_cost t = fold t ~init:0 ~f:(fun acc n -> acc + n.cost)
+
+let total_leaf_cost t =
+  fold t ~init:0 ~f:(fun acc n ->
+      if Hashtbl.length n.children = 0 then acc + n.cost else acc)
+
+let iter_segments t ~k ~f =
+  if k < 1 then invalid_arg "Awg.iter_segments: k must be >= 1";
+  (* From every node, walk all downward paths of length <= k; report each
+     prefix. [prefix] is kept reversed for O(1) extension. *)
+  let rec extend prefix_rev len n =
+    let prefix_rev = n :: prefix_rev in
+    f (List.rev prefix_rev);
+    if len < k then
+      List.iter (extend prefix_rev (len + 1)) (sorted_nodes n.children)
+  in
+  let rec every_node n =
+    extend [] 1 n;
+    List.iter every_node (sorted_nodes n.children)
+  in
+  List.iter every_node (roots t)
+
+let full_paths t =
+  let out = ref [] in
+  let rec go prefix_rev n =
+    let prefix_rev = n :: prefix_rev in
+    let kids = sorted_nodes n.children in
+    if kids = [] then out := List.rev prefix_rev :: !out
+    else List.iter (go prefix_rev) kids
+  in
+  List.iter (go []) (roots t);
+  List.rev !out
+
+let non_optimizable_fraction t =
+  Dputil.Stats.ratio
+    (float_of_int t.stats.pruned_cost)
+    (float_of_int t.stats.total_root_cost)
+
+let status_pp fmt = function
+  | Waiting { wait_sig; unwait_sig } ->
+    Format.fprintf fmt "wait %s -> unwait %s" (Signature.name wait_sig)
+      (Signature.name unwait_sig)
+  | Running s -> Format.fprintf fmt "run %s" (Signature.name s)
+  | Hw s -> Format.fprintf fmt "hw %s" (Signature.name s)
+
+let to_dot t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "digraph awg {\n  rankdir=TB;\n  node [fontsize=10];\n";
+  let edges = Buffer.create 1024 in
+  let next_id = ref 0 in
+  let escape s =
+    String.concat ""
+      (List.map
+         (fun c ->
+           match c with '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+         (List.init (String.length s) (String.get s)))
+  in
+  let rec emit n =
+    let id = Printf.sprintf "n%d" !next_id in
+    incr next_id;
+    let label, shape, color =
+      match n.status with
+      | Waiting { wait_sig; unwait_sig } ->
+        ( Printf.sprintf "wait %s\\nunwait %s"
+            (escape (Signature.name wait_sig))
+            (escape (Signature.name unwait_sig)),
+          "box",
+          "lightblue" )
+      | Running s -> (Printf.sprintf "run %s" (escape (Signature.name s)), "ellipse", "palegreen")
+      | Hw s -> (Printf.sprintf "hw %s" (escape (Signature.name s)), "hexagon", "lightsalmon")
+    in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  %s [label=\"%s\\nC=%s N=%d\", shape=%s, style=filled, fillcolor=%s];\n"
+         id label
+         (Dputil.Time.to_string n.cost)
+         n.count shape color);
+    List.iter
+      (fun c ->
+        let cid = emit c in
+        Buffer.add_string edges (Printf.sprintf "  %s -> %s;\n" id cid))
+      (sorted_nodes n.children);
+    id
+  in
+  List.iter (fun n -> ignore (emit n)) (roots t);
+  Buffer.add_buffer buf edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let render t =
+  let buf = Buffer.create 1024 in
+  let rec go indent n =
+    Buffer.add_string buf
+      (Format.asprintf "%s%a  C=%a N=%d max=%a\n" indent status_pp n.status
+         Dputil.Time.pp n.cost n.count Dputil.Time.pp n.max_cost);
+    List.iter (go (indent ^ "  ")) (sorted_nodes n.children)
+  in
+  List.iter (go "") (roots t);
+  Buffer.contents buf

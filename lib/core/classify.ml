@@ -1,0 +1,32 @@
+module Scenario = Dptrace.Scenario
+
+type t = {
+  spec : Scenario.spec;
+  fast : (Dptrace.Stream.t * Scenario.instance) list;
+  middle : (Dptrace.Stream.t * Scenario.instance) list;
+  slow : (Dptrace.Stream.t * Scenario.instance) list;
+}
+
+let classify corpus name =
+  let spec =
+    match Dptrace.Corpus.find_spec corpus name with
+    | Some s -> s
+    | None -> raise Not_found
+  in
+  let all = Dptrace.Corpus.instances_of corpus name in
+  let fast, middle, slow =
+    List.fold_left
+      (fun (fast, middle, slow) ((_, i) as entry) ->
+        match Scenario.classify spec i with
+        | Scenario.Fast -> (entry :: fast, middle, slow)
+        | Scenario.Middle -> (fast, entry :: middle, slow)
+        | Scenario.Slow -> (fast, middle, entry :: slow))
+      ([], [], []) all
+  in
+  { spec; fast = List.rev fast; middle = List.rev middle; slow = List.rev slow }
+
+let counts t = (List.length t.fast, List.length t.middle, List.length t.slow)
+
+let total t =
+  let f, m, s = counts t in
+  f + m + s

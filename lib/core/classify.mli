@@ -1,0 +1,22 @@
+(** Contrast-class classification (Section 4.2.1).
+
+    Instances of one scenario are split by measured duration against the
+    developer-specified thresholds: fast (< [tfast]) and slow (> [tslow]).
+    Instances between the thresholds are kept aside — by construction
+    [tslow - tfast >> 0], so the two contrast classes stay unambiguous. *)
+
+type t = {
+  spec : Dptrace.Scenario.spec;
+  fast : (Dptrace.Stream.t * Dptrace.Scenario.instance) list;
+  middle : (Dptrace.Stream.t * Dptrace.Scenario.instance) list;
+  slow : (Dptrace.Stream.t * Dptrace.Scenario.instance) list;
+}
+
+val classify : Dptrace.Corpus.t -> string -> t
+(** Classify all instances of the named scenario.
+    @raise Not_found if the corpus has no spec for the scenario. *)
+
+val counts : t -> int * int * int
+(** (fast, middle, slow) instance counts. *)
+
+val total : t -> int

@@ -1,0 +1,36 @@
+(** Component selection.
+
+    Both analyses are scoped to "chosen components" — in the paper's study,
+    all device drivers, selected by matching the module part of callstack
+    frames against the wildcard ["*.sys"] (Section 5.1). *)
+
+type t
+
+val of_patterns : string list -> t
+(** Compile wildcard patterns over module names. *)
+
+val drivers : t
+(** The paper's device-driver filter: [of_patterns \["*.sys"\]] plus
+    hardware-service dummy signatures (["DiskService"]-style names carry no
+    ['!'], but represent the devices that drivers serve, and Definition 3
+    keeps them as dummy signatures in the analysis). *)
+
+val patterns : t -> string list
+
+val matches_signature : t -> Dptrace.Signature.t -> bool
+(** Does a single signature's module part match? *)
+
+val stack_relevant : t -> Dptrace.Callstack.t -> bool
+(** Does any frame of the callstack match? *)
+
+val event_relevant : t -> Dptrace.Event.t -> bool
+(** Does any frame of the event's callstack match (or, for
+    hardware-service events, is the event kept as a device dummy)? *)
+
+val event_signature : t -> Dptrace.Event.t -> Dptrace.Signature.t option
+(** The paper's per-event "signature": the topmost matching frame on the
+    callstack, if any; for hardware-service events, the dummy signature. *)
+
+val event_signature_or_top : t -> Dptrace.Event.t -> Dptrace.Signature.t
+(** [event_signature], falling back to the topmost frame, then to
+    ["<none>"] for an empty stack — total, for graph labelling. *)

@@ -1,0 +1,104 @@
+type change =
+  | Appeared
+  | Disappeared
+  | Regressed of float
+  | Improved of float
+  | Stable
+
+type entry = {
+  tuple : Tuple.t;
+  before : Mining.pattern option;
+  after : Mining.pattern option;
+  change : change;
+}
+
+module Tuple_table = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+let severity = function
+  | Regressed f -> (0, -.f)
+  | Appeared -> (1, 0.0)
+  | Disappeared -> (2, 0.0)
+  | Improved f -> (3, -.f)
+  | Stable -> (4, 0.0)
+
+let compare_patterns ?(threshold = 1.5) ~before ~after () =
+  let old_table : Mining.pattern Tuple_table.t = Tuple_table.create 64 in
+  List.iter
+    (fun (p : Mining.pattern) -> Tuple_table.replace old_table p.Mining.tuple p)
+    before;
+  let seen : unit Tuple_table.t = Tuple_table.create 64 in
+  let entries = ref [] in
+  List.iter
+    (fun (p : Mining.pattern) ->
+      Tuple_table.replace seen p.Mining.tuple ();
+      let entry =
+        match Tuple_table.find_opt old_table p.Mining.tuple with
+        | None ->
+          { tuple = p.Mining.tuple; before = None; after = Some p; change = Appeared }
+        | Some old ->
+          let ratio =
+            Dputil.Stats.ratio (Mining.avg_cost p) (Mining.avg_cost old)
+          in
+          let change =
+            if ratio > threshold then Regressed ratio
+            else if ratio > 0.0 && 1.0 /. ratio > threshold then
+              Improved (1.0 /. ratio)
+            else Stable
+          in
+          { tuple = p.Mining.tuple; before = Some old; after = Some p; change }
+      in
+      entries := entry :: !entries)
+    after;
+  List.iter
+    (fun (p : Mining.pattern) ->
+      if not (Tuple_table.mem seen p.Mining.tuple) then
+        entries :=
+          {
+            tuple = p.Mining.tuple;
+            before = Some p;
+            after = None;
+            change = Disappeared;
+          }
+          :: !entries)
+    before;
+  List.sort
+    (fun a b ->
+      match compare (severity a.change) (severity b.change) with
+      | 0 -> Tuple.compare a.tuple b.tuple
+      | c -> c)
+    !entries
+
+let regressions entries =
+  List.filter
+    (fun e -> match e.change with Regressed _ | Appeared -> true | _ -> false)
+    entries
+
+let fixed entries =
+  List.filter
+    (fun e -> match e.change with Disappeared | Improved _ -> true | _ -> false)
+    entries
+
+let summary entries =
+  let count p = List.length (List.filter p entries) in
+  Printf.sprintf "+%d appeared, %d regressed, %d fixed, %d improved, %d stable"
+    (count (fun e -> e.change = Appeared))
+    (count (fun e -> match e.change with Regressed _ -> true | _ -> false))
+    (count (fun e -> e.change = Disappeared))
+    (count (fun e -> match e.change with Improved _ -> true | _ -> false))
+    (count (fun e -> e.change = Stable))
+
+let pp_entry fmt e =
+  let describe =
+    match e.change with
+    | Appeared -> "APPEARED"
+    | Disappeared -> "FIXED (gone)"
+    | Regressed f -> Printf.sprintf "REGRESSED %.1fx" f
+    | Improved f -> Printf.sprintf "improved %.1fx" f
+    | Stable -> "stable"
+  in
+  Format.fprintf fmt "%-16s %s" describe (Tuple.to_string e.tuple)

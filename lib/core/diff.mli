@@ -1,0 +1,42 @@
+(** Pattern-set differencing across analysis runs.
+
+    The paper closes by noting that a discovered pattern "as a generalized
+    representation is a clue for similar cases" — analysts re-run the
+    analysis after a fix, or on the next fleet snapshot, and ask what
+    changed. This module compares two ranked pattern sets (same scenario,
+    two corpora: before/after a driver fix, two OS builds, …) by matching
+    Signature Set Tuples. *)
+
+type change =
+  | Appeared  (** Present only in the new run. *)
+  | Disappeared  (** Present only in the old run — e.g. a fixed problem. *)
+  | Regressed of float  (** Avg cost grew by this factor (> threshold). *)
+  | Improved of float  (** Avg cost shrank by this factor (> threshold). *)
+  | Stable
+
+type entry = {
+  tuple : Tuple.t;
+  before : Mining.pattern option;
+  after : Mining.pattern option;
+  change : change;
+}
+
+val compare_patterns :
+  ?threshold:float ->
+  before:Mining.pattern list ->
+  after:Mining.pattern list ->
+  unit ->
+  entry list
+(** Match by tuple; [threshold] (default 1.5) is the avg-cost ratio beyond
+    which a pattern counts as regressed/improved. The result is sorted:
+    regressions (largest factor first), then appearances (largest cost),
+    then disappearances, improvements, and stable entries. *)
+
+val regressions : entry list -> entry list
+val fixed : entry list -> entry list
+(** Disappeared + improved entries. *)
+
+val summary : entry list -> string
+(** One line: "+3 appeared, 2 regressed, 5 fixed, 14 stable". *)
+
+val pp_entry : Format.formatter -> entry -> unit

@@ -1,0 +1,69 @@
+let high_impact (p : Mining.pattern) ~tslow = p.Mining.max_single > tslow
+
+type coverages = {
+  driver_cost : Dputil.Time.t;
+  impactful_cost : Dputil.Time.t;
+  total_pattern_cost : Dputil.Time.t;
+  itc : float;
+  ttc : float;
+}
+
+let time_coverages patterns ~tslow ~driver_cost =
+  let impactful_cost =
+    List.fold_left
+      (fun acc (p : Mining.pattern) ->
+        if high_impact p ~tslow then acc + p.Mining.cost else acc)
+      0 patterns
+  in
+  let total_pattern_cost =
+    List.fold_left (fun acc (p : Mining.pattern) -> acc + p.Mining.cost) 0 patterns
+  in
+  {
+    driver_cost;
+    impactful_cost;
+    total_pattern_cost;
+    itc =
+      Dputil.Stats.ratio (float_of_int impactful_cost) (float_of_int driver_cost);
+    ttc =
+      Dputil.Stats.ratio
+        (float_of_int total_pattern_cost)
+        (float_of_int driver_cost);
+  }
+
+let ranking_coverage patterns ~top_fraction =
+  let n = List.length patterns in
+  if n = 0 then 0.0
+  else begin
+    let take = int_of_float (ceil (top_fraction *. float_of_int n)) in
+    let take = max 0 (min n take) in
+    let total, top =
+      List.fold_left
+        (fun (total, top) ((i : int), (p : Mining.pattern)) ->
+          ( total + p.Mining.cost,
+            if i < take then top + p.Mining.cost else top ))
+        (0, 0)
+        (List.mapi (fun i p -> (i, p)) patterns)
+    in
+    Dputil.Stats.ratio (float_of_int top) (float_of_int total)
+  end
+
+let top_patterns patterns ~n = List.filteri (fun i _ -> i < n) patterns
+
+let driver_type_counts patterns ~top_n ~type_of =
+  let counts : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (p : Mining.pattern) ->
+      let types =
+        Tuple.all_signatures p.Mining.tuple
+        |> List.filter_map type_of
+        |> List.sort_uniq compare
+      in
+      List.iter
+        (fun ty ->
+          Hashtbl.replace counts ty
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts ty)))
+        types)
+    (top_patterns patterns ~n:top_n);
+  Hashtbl.fold (fun ty n acc -> (ty, n) :: acc) counts []
+  |> List.sort (fun (na, ca) (nb, cb) ->
+         match compare cb ca with 0 -> compare na nb | c -> c)

@@ -1,0 +1,131 @@
+module WG = Dpwaitgraph.Wait_graph
+module Event = Dptrace.Event
+module Signature = Dptrace.Signature
+
+type witness = {
+  stream : Dptrace.Stream.t;
+  instance : Dptrace.Scenario.instance;
+  matched_cost : Dputil.Time.t;
+  chain : Event.t list;
+}
+
+let max_paths_per_graph = 4096
+let max_depth = 64
+
+(* The Signature Set Tuple of one concrete event chain, mirroring the
+   aggregation rules: wait/unwait sigs from wait events and their wakers,
+   running sigs from running and hardware-service events; events with no
+   component signature contribute nothing. *)
+let tuple_of_chain components nodes =
+  let waits = ref [] and unwaits = ref [] and runnings = ref [] in
+  List.iter
+    (fun (n : WG.node) ->
+      let e = n.WG.event in
+      match e.Event.kind with
+      | Event.Wait -> (
+        match Component.event_signature components e with
+        | Some s ->
+          waits := s :: !waits;
+          let u =
+            match n.WG.waker with
+            | Some u -> Component.event_signature_or_top components u
+            | None -> Signature.of_string "<lost-unwait>"
+          in
+          unwaits := u :: !unwaits
+        | None -> ())
+      | Event.Running | Event.Hw_service -> (
+        match Component.event_signature components e with
+        | Some s -> runnings := s :: !runnings
+        | None -> ())
+      | Event.Unwait -> ())
+    nodes;
+  Tuple.make ~waits:!waits ~unwaits:!unwaits ~runnings:!runnings
+
+let chain_cost (pattern : Mining.pattern) nodes =
+  let participating = Tuple.all_signatures pattern.Mining.tuple in
+  List.fold_left
+    (fun acc (n : WG.node) ->
+      let e = n.WG.event in
+      let sigs =
+        Dptrace.Callstack.frames e.Event.stack |> Array.to_list
+      in
+      if List.exists (fun s -> List.memq s sigs) participating then
+        acc + e.Event.cost
+      else acc)
+    0 nodes
+
+let best_match components (pattern : Mining.pattern) (g : WG.t) =
+  let best = ref None in
+  let paths_seen = ref 0 in
+  let consider path_rev =
+    let path = List.rev path_rev in
+    let tuple = tuple_of_chain components path in
+    if Tuple.subset pattern.Mining.tuple tuple then begin
+      let cost = chain_cost pattern path in
+      match !best with
+      | Some (c, _) when c >= cost -> ()
+      | _ -> best := Some (cost, path)
+    end
+  in
+  let rec dfs depth path_rev (n : WG.node) =
+    if depth <= max_depth && !paths_seen < max_paths_per_graph then begin
+      let path_rev = n :: path_rev in
+      match n.WG.children with
+      | [] ->
+        incr paths_seen;
+        consider path_rev
+      | children -> List.iter (dfs (depth + 1) path_rev) children
+    end
+  in
+  List.iter (dfs 0 []) g.WG.roots;
+  !best
+
+let witnesses ?(limit = 5) components corpus ~scenario ~pattern () =
+  let entries = Dptrace.Corpus.instances_of corpus scenario in
+  let indexes : (int, Dptrace.Stream.index) Hashtbl.t = Hashtbl.create 16 in
+  let index_of (st : Dptrace.Stream.t) =
+    match Hashtbl.find_opt indexes st.Dptrace.Stream.id with
+    | Some i -> i
+    | None ->
+      let i = Dptrace.Stream.index st in
+      Hashtbl.replace indexes st.Dptrace.Stream.id i;
+      i
+  in
+  List.filter_map
+    (fun (st, inst) ->
+      let g = WG.build ~index:(index_of st) st inst in
+      match best_match components pattern g with
+      | Some (matched_cost, path) when matched_cost > 0 ->
+        Some
+          {
+            stream = st;
+            instance = inst;
+            matched_cost;
+            chain = List.map (fun (n : WG.node) -> n.WG.event) path;
+          }
+      | _ -> None)
+    entries
+  |> List.sort (fun a b -> compare b.matched_cost a.matched_cost)
+  |> List.filteri (fun i _ -> i < limit)
+
+let render w =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Format.asprintf "witness: %a in stream %d (matched cost %a)\n"
+       Dptrace.Scenario.pp_instance w.instance w.stream.Dptrace.Stream.id
+       Dputil.Time.pp w.matched_cost);
+  List.iteri
+    (fun i (e : Event.t) ->
+      let top =
+        match Dptrace.Callstack.top e.Event.stack with
+        | Some s -> Signature.name s
+        | None -> "<empty>"
+      in
+      Buffer.add_string buf
+        (Format.asprintf "%s%s %s %a in %s\n"
+           (String.make (2 * (i + 1)) ' ')
+           (Dptrace.Stream.thread_name w.stream e.Event.tid)
+           (Event.kind_to_string e.Event.kind)
+           Dputil.Time.pp e.Event.cost top))
+    w.chain;
+  Buffer.contents buf

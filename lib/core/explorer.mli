@@ -1,0 +1,37 @@
+(** From pattern back to trace: witness lookup.
+
+    Section 2.3: a discovered pattern "guides the analyst to realize the
+    concrete performance incident by investigating a specific trace
+    stream" — the Figure 1 snapshot was reconstructed this way. This
+    module performs that step mechanically: given a contrast pattern, it
+    finds the scenario instances whose Wait Graphs actually exhibit it,
+    ranked by how much the matching behaviour cost them. *)
+
+type witness = {
+  stream : Dptrace.Stream.t;
+  instance : Dptrace.Scenario.instance;
+  matched_cost : Dputil.Time.t;
+      (** Σ cost of the instance's wait-graph events whose signatures
+          participate in the pattern match. *)
+  chain : Dptrace.Event.t list;
+      (** One concrete root-to-leaf event chain realising the pattern
+          (top-level wait first). *)
+}
+
+val witnesses :
+  ?limit:int ->
+  Component.t ->
+  Dptrace.Corpus.t ->
+  scenario:string ->
+  pattern:Mining.pattern ->
+  unit ->
+  witness list
+(** Scan the scenario's instances for Wait Graphs containing a
+    root-to-leaf chain whose Signature Set Tuple includes the pattern's
+    tuple. Returns up to [limit] (default 5) witnesses, costliest first.
+    An empty list means the pattern came from other instances than the
+    ones scanned (or from a different corpus). *)
+
+val render : witness -> string
+(** Figure-1-style narrative: the instance, its duration, and the matched
+    propagation chain hop by hop with thread names and costs. *)

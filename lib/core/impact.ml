@@ -1,0 +1,198 @@
+module Event = Dptrace.Event
+module Wait_graph = Dpwaitgraph.Wait_graph
+
+type result = {
+  d_scn : Dputil.Time.t;
+  d_wait : Dputil.Time.t;
+  d_run : Dputil.Time.t;
+  d_waitdist : Dputil.Time.t;
+  instances : int;
+  counted_waits : int;
+  counted_runs : int;
+}
+
+let empty =
+  {
+    d_scn = 0;
+    d_wait = 0;
+    d_run = 0;
+    d_waitdist = 0;
+    instances = 0;
+    counted_waits = 0;
+    counted_runs = 0;
+  }
+
+let analyze_graphs components graphs =
+  (* (stream id, event id) → cost, across all instances: the distinct-wait
+     set whose total is d_waitdist. *)
+  let distinct : (int * int, Dputil.Time.t) Hashtbl.t = Hashtbl.create 1024 in
+  let acc = ref empty in
+  let measure_graph (g : Wait_graph.t) =
+    let stream_id = g.Wait_graph.stream.Dptrace.Stream.id in
+    let d_scn = Dptrace.Scenario.duration g.Wait_graph.instance in
+    (* Top-level component waits: BFS that counts a matching wait and does
+       not descend into it. Per-graph visited set keeps the DAG linear. *)
+    let visited : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+    let d_wait = ref 0 and counted_waits = ref 0 in
+    let rec bfs (n : Wait_graph.node) =
+      let e = n.Wait_graph.event in
+      if not (Hashtbl.mem visited e.Event.id) then begin
+        Hashtbl.replace visited e.Event.id ();
+        if Event.is_wait e && Component.stack_relevant components e.Event.stack
+        then begin
+          d_wait := !d_wait + e.Event.cost;
+          incr counted_waits;
+          Hashtbl.replace distinct (stream_id, e.Event.id) e.Event.cost
+        end
+        else List.iter bfs n.Wait_graph.children
+      end
+    in
+    List.iter bfs g.Wait_graph.roots;
+    (* Component running time over all distinct nodes of the graph. *)
+    let d_run = ref 0 and counted_runs = ref 0 in
+    Wait_graph.iter_nodes g (fun n ->
+        let e = n.Wait_graph.event in
+        if Event.is_running e && Component.stack_relevant components e.Event.stack
+        then begin
+          d_run := !d_run + e.Event.cost;
+          incr counted_runs
+        end);
+    acc :=
+      {
+        d_scn = !acc.d_scn + d_scn;
+        d_wait = !acc.d_wait + !d_wait;
+        d_run = !acc.d_run + !d_run;
+        d_waitdist = !acc.d_waitdist;
+        instances = !acc.instances + 1;
+        counted_waits = !acc.counted_waits + !counted_waits;
+        counted_runs = !acc.counted_runs + !counted_runs;
+      }
+  in
+  List.iter measure_graph graphs;
+  let d_waitdist = Hashtbl.fold (fun _ cost total -> total + cost) distinct 0 in
+  { !acc with d_waitdist }
+
+let analyze components (corpus : Dptrace.Corpus.t) =
+  let graphs =
+    List.concat_map
+      (fun (st : Dptrace.Stream.t) ->
+        let index = Dptrace.Stream.index st in
+        List.map (Wait_graph.build ~index st) st.Dptrace.Stream.instances)
+      corpus.Dptrace.Corpus.streams
+  in
+  analyze_graphs components graphs
+
+let fdiv a b = Dputil.Stats.ratio (float_of_int a) (float_of_int b)
+
+let ia_run r = fdiv r.d_run r.d_scn
+let ia_wait r = fdiv r.d_wait r.d_scn
+let ia_opt r = fdiv (r.d_wait - r.d_waitdist) r.d_scn
+let propagation_ratio r = fdiv r.d_wait r.d_waitdist
+
+let merge a b =
+  {
+    d_scn = a.d_scn + b.d_scn;
+    d_wait = a.d_wait + b.d_wait;
+    d_run = a.d_run + b.d_run;
+    d_waitdist = a.d_waitdist + b.d_waitdist;
+    instances = a.instances + b.instances;
+    counted_waits = a.counted_waits + b.counted_waits;
+    counted_runs = a.counted_runs + b.counted_runs;
+  }
+
+type module_row = {
+  module_name : string;
+  m_wait : Dputil.Time.t;
+  m_waitdist : Dputil.Time.t;
+  m_run : Dputil.Time.t;
+  m_counted_waits : int;
+  m_max_wait : Dputil.Time.t;
+}
+
+type module_cell = {
+  mutable c_wait : Dputil.Time.t;
+  mutable c_run : Dputil.Time.t;
+  mutable c_counted : int;
+  mutable c_max : Dputil.Time.t;
+  distinct : (int * int, Dputil.Time.t) Hashtbl.t;
+}
+
+let by_module components graphs =
+  let cells : (string, module_cell) Hashtbl.t = Hashtbl.create 32 in
+  let cell name =
+    match Hashtbl.find_opt cells name with
+    | Some c -> c
+    | None ->
+      let c =
+        { c_wait = 0; c_run = 0; c_counted = 0; c_max = 0; distinct = Hashtbl.create 64 }
+      in
+      Hashtbl.replace cells name c;
+      c
+  in
+  let module_of (e : Event.t) =
+    Option.map
+      (fun s -> Dptrace.Signature.module_part s)
+      (Component.event_signature components e)
+  in
+  List.iter
+    (fun (g : Wait_graph.t) ->
+      let stream_id = g.Wait_graph.stream.Dptrace.Stream.id in
+      let visited : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+      let rec bfs (n : Wait_graph.node) =
+        let e = n.Wait_graph.event in
+        if not (Hashtbl.mem visited e.Event.id) then begin
+          Hashtbl.replace visited e.Event.id ();
+          if Event.is_wait e && Component.stack_relevant components e.Event.stack
+          then begin
+            match module_of e with
+            | Some name ->
+              let c = cell name in
+              c.c_wait <- c.c_wait + e.Event.cost;
+              c.c_counted <- c.c_counted + 1;
+              if e.Event.cost > c.c_max then c.c_max <- e.Event.cost;
+              Hashtbl.replace c.distinct (stream_id, e.Event.id) e.Event.cost
+            | None -> ()
+          end
+          else List.iter bfs n.Wait_graph.children
+        end
+      in
+      List.iter bfs g.Wait_graph.roots;
+      Wait_graph.iter_nodes g (fun n ->
+          let e = n.Wait_graph.event in
+          if Event.is_running e then
+            match module_of e with
+            | Some name ->
+              let c = cell name in
+              c.c_run <- c.c_run + e.Event.cost
+            | None -> ()))
+    graphs;
+  Hashtbl.fold
+    (fun module_name c acc ->
+      {
+        module_name;
+        m_wait = c.c_wait;
+        m_waitdist = Hashtbl.fold (fun _ cost t -> t + cost) c.distinct 0;
+        m_run = c.c_run;
+        m_counted_waits = c.c_counted;
+        m_max_wait = c.c_max;
+      }
+      :: acc)
+    cells []
+  |> List.sort (fun a b ->
+         match compare b.m_wait a.m_wait with
+         | 0 -> compare a.module_name b.module_name
+         | c -> c)
+
+let module_propagation_ratio r =
+  fdiv r.m_wait r.m_waitdist
+
+let pp fmt r =
+  Format.fprintf fmt
+    "impact: %d instances, D_scn=%a, D_wait=%a (IA_wait=%.1f%%), D_run=%a \
+     (IA_run=%.1f%%), D_waitdist=%a (IA_opt=%.1f%%, ratio=%.2f)"
+    r.instances Dputil.Time.pp r.d_scn Dputil.Time.pp r.d_wait
+    (100.0 *. ia_wait r) Dputil.Time.pp r.d_run
+    (100.0 *. ia_run r)
+    Dputil.Time.pp r.d_waitdist
+    (100.0 *. ia_opt r)
+    (propagation_ratio r)

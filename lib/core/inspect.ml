@@ -1,0 +1,83 @@
+type point = {
+  inspected : int;
+  effort_hours : float;
+  coverage : float;
+}
+
+type t = {
+  (* cumulative.(i) = coverage after inspecting the first i patterns. *)
+  cumulative : float array;
+  patterns_per_hour : float;
+}
+
+let model ?(patterns_per_hour = 50.0) (patterns : Mining.pattern list) =
+  if patterns_per_hour <= 0.0 then
+    invalid_arg "Inspect.model: patterns_per_hour must be positive";
+  let costs = List.map (fun (p : Mining.pattern) -> p.Mining.cost) patterns in
+  let total = float_of_int (List.fold_left ( + ) 0 costs) in
+  let n = List.length costs in
+  let cumulative = Array.make (n + 1) 0.0 in
+  List.iteri
+    (fun i c ->
+      cumulative.(i + 1) <-
+        cumulative.(i)
+        +. (if total = 0.0 then 0.0 else float_of_int c /. total))
+    costs;
+  { cumulative; patterns_per_hour }
+
+let point_at t inspected =
+  {
+    inspected;
+    effort_hours = float_of_int inspected /. t.patterns_per_hour;
+    coverage = t.cumulative.(inspected);
+  }
+
+let curve ?(points = 20) t =
+  let n = Array.length t.cumulative - 1 in
+  if n = 0 then []
+  else begin
+    let steps = min points n in
+    let depths =
+      List.init steps (fun i -> (i + 1) * n / steps) |> List.sort_uniq compare
+    in
+    List.map (point_at t) depths
+  end
+
+let effort_to_reach t ~coverage =
+  let n = Array.length t.cumulative - 1 in
+  let rec go i =
+    if i > n then None
+    else if t.cumulative.(i) >= coverage then Some (point_at t i)
+    else go (i + 1)
+  in
+  go 0
+
+let effort_saved t ~coverage =
+  let n = Array.length t.cumulative - 1 in
+  match effort_to_reach t ~coverage with
+  | None -> None
+  | Some p ->
+    if n = 0 then None
+    else begin
+      (* Unranked null model: coverage accrues uniformly per pattern. *)
+      let unranked = coverage *. float_of_int n in
+      if unranked <= 0.0 then None
+      else Some (1.0 -. (float_of_int p.inspected /. unranked))
+    end
+
+let pp fmt t =
+  let n = Array.length t.cumulative - 1 in
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun p ->
+      Format.fprintf fmt "top %4d patterns (%5.1f h): %5.1f%% coverage@,"
+        p.inspected p.effort_hours (100.0 *. p.coverage))
+    (curve ~points:8 t);
+  (match (effort_to_reach t ~coverage:0.6, effort_saved t ~coverage:0.6) with
+  | Some p, Some saved ->
+    Format.fprintf fmt
+      "60%% coverage after %d of %d patterns (%.1f h); ~%.0f%% effort saved \
+       vs unranked inspection@,"
+      p.inspected n p.effort_hours (100.0 *. saved)
+  | _ -> Format.fprintf fmt "60%% coverage not reachable with these patterns@,");
+  Format.fprintf fmt "@]"

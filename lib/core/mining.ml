@@ -1,0 +1,121 @@
+module Tuple_table = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+type meta = { tuple : Tuple.t; cost : Dputil.Time.t; count : int }
+
+type contrast_reason = Slow_only | Cost_ratio of float
+
+type contrast_meta = { cm_meta : meta; reason : contrast_reason }
+
+type pattern = {
+  tuple : Tuple.t;
+  cost : Dputil.Time.t;
+  count : int;
+  max_single : Dputil.Time.t;
+}
+
+type result = {
+  contrast_metas : contrast_meta list;
+  patterns : pattern list;
+  fast_meta_count : int;
+  slow_meta_count : int;
+}
+
+let default_k = 5
+
+let meta_table awg ~k =
+  let table : meta Tuple_table.t = Tuple_table.create 256 in
+  Awg.iter_segments awg ~k ~f:(fun segment ->
+      let tuple = Tuple.of_segment segment in
+      let last = List.nth segment (List.length segment - 1) in
+      let cost = last.Awg.cost and count = last.Awg.count in
+      match Tuple_table.find_opt table tuple with
+      | Some m ->
+        Tuple_table.replace table tuple
+          { m with cost = m.cost + cost; count = m.count + count }
+      | None -> Tuple_table.replace table tuple { tuple; cost; count });
+  table
+
+let enumerate_metas awg ~k =
+  Tuple_table.fold (fun _ m acc -> m :: acc) (meta_table awg ~k) []
+  |> List.sort (fun (a : meta) (b : meta) -> Tuple.compare a.tuple b.tuple)
+
+let avg_of (m : meta) =
+  Dputil.Stats.ratio (float_of_int m.cost) (float_of_int m.count)
+
+let discover_contrasts ~fast_table ~slow_table ~ratio_threshold =
+  Tuple_table.fold
+    (fun tuple (slow_meta : meta) acc ->
+      match Tuple_table.find_opt fast_table tuple with
+      | None -> { cm_meta = slow_meta; reason = Slow_only } :: acc
+      | Some fast_meta ->
+        let ratio = Dputil.Stats.ratio (avg_of slow_meta) (avg_of fast_meta) in
+        if ratio > ratio_threshold then
+          { cm_meta = slow_meta; reason = Cost_ratio ratio } :: acc
+        else acc)
+    slow_table []
+  |> List.sort (fun a b -> Tuple.compare a.cm_meta.tuple b.cm_meta.tuple)
+
+let avg_cost p = Dputil.Stats.ratio (float_of_int p.cost) (float_of_int p.count)
+
+let select_patterns ~slow ~contrast_metas =
+  let table : pattern Tuple_table.t = Tuple_table.create 128 in
+  List.iter
+    (fun path ->
+      let tuple = Tuple.of_segment path in
+      let contains_contrast =
+        List.exists (fun cm -> Tuple.subset cm.cm_meta.tuple tuple) contrast_metas
+      in
+      if contains_contrast then begin
+        let leaf = List.nth path (List.length path - 1) in
+        let root = List.hd path in
+        let cost = leaf.Awg.cost
+        and count = leaf.Awg.count
+        (* The largest single observed execution of the behaviour this
+           pattern describes, measured at the top of its propagation path:
+           this is what the automated high-impact rule compares against
+           T_slow (a leaf's device stall never exceeds a scenario
+           threshold; the stacked wait it propagates into does). *)
+        and max_single = root.Awg.max_cost in
+        match Tuple_table.find_opt table tuple with
+        | Some p ->
+          Tuple_table.replace table tuple
+            {
+              p with
+              cost = p.cost + cost;
+              count = p.count + count;
+              max_single = max p.max_single max_single;
+            }
+        | None -> Tuple_table.replace table tuple { tuple; cost; count; max_single }
+      end)
+    (Awg.full_paths slow);
+  Tuple_table.fold (fun _ p acc -> p :: acc) table []
+  |> List.sort (fun a b ->
+         match compare (avg_cost b) (avg_cost a) with
+         | 0 -> Tuple.compare a.tuple b.tuple
+         | c -> c)
+
+let mine ?(k = default_k) ~fast ~slow ~(spec : Dptrace.Scenario.spec) () =
+  let fast_table = meta_table fast ~k in
+  let slow_table = meta_table slow ~k in
+  let ratio_threshold =
+    Dputil.Stats.ratio (float_of_int spec.tslow) (float_of_int spec.tfast)
+  in
+  let contrast_metas = discover_contrasts ~fast_table ~slow_table ~ratio_threshold in
+  let patterns = select_patterns ~slow ~contrast_metas in
+  {
+    contrast_metas;
+    patterns;
+    fast_meta_count = Tuple_table.length fast_table;
+    slow_meta_count = Tuple_table.length slow_table;
+  }
+
+let pp_pattern fmt p =
+  Format.fprintf fmt "@[<v>%a@,C=%a N=%d avg=%.1fms max=%a@]" Tuple.pp p.tuple
+    Dputil.Time.pp p.cost p.count
+    (avg_cost p /. 1000.0)
+    Dputil.Time.pp p.max_single

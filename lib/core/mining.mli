@@ -1,0 +1,59 @@
+(** Contrast pattern mining (Section 4.2.3).
+
+    Three steps over the fast-class and slow-class Aggregated Wait Graphs:
+
+    + {b meta-pattern enumeration}: Signature Set Tuples of all path
+      segments of length 1..k, with [P.C]/[P.N] aggregated over segments
+      sharing a tuple — bounding the length keeps mining tractable and
+      loses no patterns, since longer behaviours decompose into their
+      bounded sub-segments;
+    + {b contrast discovery}: a meta-pattern is a contrast when it appears
+      only in the slow class, or appears in both with a per-occurrence
+      cost ratio above [T_slow / T_fast];
+    + {b pattern selection}: every full slow-class path whose tuple
+      contains some contrast meta-pattern becomes a contrast pattern;
+      identical tuples merge their [P.C] and [P.N]. Patterns are ranked by
+      average execution cost [P.C/P.N], highest impact first. *)
+
+type meta = { tuple : Tuple.t; cost : Dputil.Time.t; count : int }
+
+type contrast_reason =
+  | Slow_only
+  | Cost_ratio of float  (** Per-occurrence slow/fast cost ratio. *)
+
+type contrast_meta = { cm_meta : meta; reason : contrast_reason }
+
+type pattern = {
+  tuple : Tuple.t;
+  cost : Dputil.Time.t;  (** [P.C] — Σ end-node cost of merged paths. *)
+  count : int;  (** [P.N]. *)
+  max_single : Dputil.Time.t;
+      (** Largest single observed execution of the behaviour, measured at
+          the {e root} of the merged paths (the top-level wait the pattern
+          explains); drives the automated high-impact classification of
+          Section 5.2.1, which asks whether some execution exceeded
+          [T_slow]. *)
+}
+
+type result = {
+  contrast_metas : contrast_meta list;
+  patterns : pattern list;  (** Ranked by [avg_cost], descending. *)
+  fast_meta_count : int;
+  slow_meta_count : int;
+}
+
+val default_k : int
+(** 5, the paper's segment-length bound for all experiments. *)
+
+val enumerate_metas : Awg.t -> k:int -> meta list
+(** Step 1 alone (exposed for tests and ablations). *)
+
+val mine :
+  ?k:int -> fast:Awg.t -> slow:Awg.t -> spec:Dptrace.Scenario.spec -> unit -> result
+(** Run all three steps. The contrast ratio threshold is
+    [spec.tslow / spec.tfast]. *)
+
+val avg_cost : pattern -> float
+(** [P.C/P.N] in microseconds — the ranking key. *)
+
+val pp_pattern : Format.formatter -> pattern -> unit

@@ -1,0 +1,70 @@
+module Wait_graph = Dpwaitgraph.Wait_graph
+
+type scenario_result = {
+  classification : Classify.t;
+  slow_impact : Impact.result;
+  fast_awg : Awg.t;
+  slow_awg : Awg.t;
+  mining : Mining.result;
+  coverages : Evaluation.coverages;
+}
+
+let build_graphs _corpus entries =
+  (* One index per stream, shared by all of that stream's instances. *)
+  let indexes : (int, Dptrace.Stream.index) Hashtbl.t = Hashtbl.create 16 in
+  let index_of (st : Dptrace.Stream.t) =
+    match Hashtbl.find_opt indexes st.Dptrace.Stream.id with
+    | Some idx -> idx
+    | None ->
+      let idx = Dptrace.Stream.index st in
+      Hashtbl.replace indexes st.Dptrace.Stream.id idx;
+      idx
+  in
+  List.map
+    (fun (st, inst) -> Wait_graph.build ~index:(index_of st) st inst)
+    entries
+
+let run_scenario ?(k = Mining.default_k) ?(reduce = true) components corpus name =
+  let classification = Classify.classify corpus name in
+  let fast_graphs = build_graphs corpus classification.Classify.fast in
+  let slow_graphs = build_graphs corpus classification.Classify.slow in
+  let slow_impact = Impact.analyze_graphs components slow_graphs in
+  let fast_awg = Awg.build ~reduce components fast_graphs in
+  let slow_awg = Awg.build ~reduce components slow_graphs in
+  let mining =
+    Mining.mine ~k ~fast:fast_awg ~slow:slow_awg
+      ~spec:classification.Classify.spec ()
+  in
+  (* Coverage denominator: everything the slow-class aggregation absorbed
+     at its end nodes, plus the non-optimisable mass the reduction pruned
+     (counted as unexplainable driver cost). Bounded and consistent with
+     the patterns' end-node costs. *)
+  let driver_cost =
+    Awg.total_leaf_cost slow_awg + (Awg.reduction slow_awg).Awg.pruned_cost
+  in
+  let coverages =
+    Evaluation.time_coverages mining.Mining.patterns
+      ~tslow:classification.Classify.spec.Dptrace.Scenario.tslow ~driver_cost
+  in
+  { classification; slow_impact; fast_awg; slow_awg; mining; coverages }
+
+let run_impact components corpus = Impact.analyze components corpus
+
+let impact_per_scenario components corpus =
+  List.map
+    (fun name ->
+      let graphs = build_graphs corpus (Dptrace.Corpus.instances_of corpus name) in
+      (name, Impact.analyze_graphs components graphs))
+    (Dptrace.Corpus.scenario_names corpus)
+  |> List.sort (fun (na, (a : Impact.result)) (nb, (b : Impact.result)) ->
+         match compare b.Impact.d_wait a.Impact.d_wait with
+         | 0 -> compare na nb
+         | c -> c)
+
+let driver_cost_fraction r =
+  (* Distinct driver time over slow-class scenario time: the paper's
+     "Driver Cost" column is a plain share of execution time, so the
+     multiplicity-weighted D_wait would overstate it. *)
+  Dputil.Stats.ratio
+    (float_of_int (r.slow_impact.Impact.d_waitdist + r.slow_impact.Impact.d_run))
+    (float_of_int r.slow_impact.Impact.d_scn)

@@ -1,0 +1,52 @@
+(** End-to-end orchestration: corpus → impact analysis and per-scenario
+    causality analysis.
+
+    Wait Graphs are built once per scenario instance (sharing one stream
+    index per stream) and reused across the classification, the per-class
+    impact measurement and the AWG aggregation. *)
+
+type scenario_result = {
+  classification : Classify.t;
+  slow_impact : Impact.result;
+      (** Component impact measured over the slow class only. *)
+  fast_awg : Awg.t;
+  slow_awg : Awg.t;
+  mining : Mining.result;
+  coverages : Evaluation.coverages;
+}
+
+val build_graphs :
+  Dptrace.Corpus.t ->
+  (Dptrace.Stream.t * Dptrace.Scenario.instance) list ->
+  Dpwaitgraph.Wait_graph.t list
+(** Build Wait Graphs for the given instances, sharing stream indexes. *)
+
+val run_scenario :
+  ?k:int ->
+  ?reduce:bool ->
+  Component.t ->
+  Dptrace.Corpus.t ->
+  string ->
+  scenario_result
+(** Classify the scenario's instances, aggregate both contrast classes,
+    mine contrast patterns and compute coverages. [k] defaults to
+    {!Mining.default_k}; [reduce] (default [true]) controls the AWG
+    non-optimisable-portion reduction.
+    @raise Not_found if the corpus has no spec for the scenario. *)
+
+val run_impact : Component.t -> Dptrace.Corpus.t -> Impact.result
+(** Whole-corpus impact analysis (Section 5.1). *)
+
+val impact_per_scenario :
+  Component.t -> Dptrace.Corpus.t -> (string * Impact.result) list
+(** The impact metrics measured separately over each scenario's instances
+    (Section 3: "performance analysts can narrow down the investigation
+    scope"). Sorted by [d_wait], descending. The per-scenario results sum
+    to the whole-corpus [d_scn]/[d_wait]/[d_run], but not [d_waitdist]:
+    a wait shared by instances of two scenarios is distinct in each. *)
+
+val driver_cost_fraction : scenario_result -> float
+(** Distinct slow-class driver time ([d_waitdist + d_run]) over slow-class
+    scenario time — the "Driver Cost" column of Table 2. The ITC/TTC
+    denominator is instead the slow AWG's end-node mass plus the pruned
+    non-optimisable mass, so both coverages stay within [\[0,1\]]. *)

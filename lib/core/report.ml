@@ -1,0 +1,245 @@
+module Table = Dputil.Table
+
+let pct f = Printf.sprintf "%.1f%%" (100.0 *. f)
+
+let impact_summary (r : Impact.result) =
+  let t =
+    Table.create ~title:"Impact analysis (components: device drivers)"
+      [ ("Metric", Table.Left); ("Value", Table.Right) ]
+  in
+  Table.add_row t [ "Scenario instances"; string_of_int r.Impact.instances ];
+  Table.add_row t [ "D_scn (total scenario time)"; Dputil.Time.to_string r.Impact.d_scn ];
+  Table.add_row t [ "D_wait"; Dputil.Time.to_string r.Impact.d_wait ];
+  Table.add_row t [ "D_run"; Dputil.Time.to_string r.Impact.d_run ];
+  Table.add_row t [ "D_waitdist"; Dputil.Time.to_string r.Impact.d_waitdist ];
+  Table.add_separator t;
+  Table.add_row t [ "IA_wait = D_wait / D_scn"; pct (Impact.ia_wait r) ];
+  Table.add_row t [ "IA_run = D_run / D_scn"; pct (Impact.ia_run r) ];
+  Table.add_row t [ "IA_opt = (D_wait - D_waitdist) / D_scn"; pct (Impact.ia_opt r) ];
+  Table.add_row t
+    [
+      "D_wait / D_waitdist";
+      Printf.sprintf "%.2f" (Impact.propagation_ratio r);
+    ];
+  t
+
+let module_breakdown ?(top = 12) rows =
+  let t =
+    Table.create ~title:"Per-module driver impact"
+      [
+        ("Module", Table.Left);
+        ("D_wait", Table.Right);
+        ("D_waitdist", Table.Right);
+        ("ratio", Table.Right);
+        ("D_run", Table.Right);
+        ("#waits", Table.Right);
+        ("max wait", Table.Right);
+      ]
+  in
+  List.iteri
+    (fun i (r : Impact.module_row) ->
+      if i < top then
+        Table.add_row t
+          [
+            r.Impact.module_name;
+            Dputil.Time.to_string r.Impact.m_wait;
+            Dputil.Time.to_string r.Impact.m_waitdist;
+            Printf.sprintf "%.2f" (Impact.module_propagation_ratio r);
+            Dputil.Time.to_string r.Impact.m_run;
+            string_of_int r.Impact.m_counted_waits;
+            Dputil.Time.to_string r.Impact.m_max_wait;
+          ])
+    rows;
+  t
+
+let scenario_impacts entries =
+  let t =
+    Table.create ~title:"Per-scenario driver impact"
+      [
+        ("Scenario", Table.Left);
+        ("#Inst", Table.Right);
+        ("D_scn", Table.Right);
+        ("IA_wait", Table.Right);
+        ("IA_run", Table.Right);
+        ("IA_opt", Table.Right);
+        ("ratio", Table.Right);
+      ]
+  in
+  List.iter
+    (fun (name, (r : Impact.result)) ->
+      Table.add_row t
+        [
+          name;
+          string_of_int r.Impact.instances;
+          Dputil.Time.to_string r.Impact.d_scn;
+          pct (Impact.ia_wait r);
+          pct (Impact.ia_run r);
+          pct (Impact.ia_opt r);
+          Printf.sprintf "%.2f" (Impact.propagation_ratio r);
+        ])
+    entries;
+  t
+
+let scenario_classes entries =
+  let t =
+    Table.create ~title:"Table 1: selected scenarios and contrast classes"
+      [
+        ("Scenario", Table.Left);
+        ("#Instances", Table.Right);
+        ("in {I}fast", Table.Right);
+        ("in {I}slow", Table.Right);
+      ]
+  in
+  let tot = ref 0 and totf = ref 0 and tots = ref 0 in
+  List.iter
+    (fun (name, c) ->
+      let f, m, s = Classify.counts c in
+      tot := !tot + f + m + s;
+      totf := !totf + f;
+      tots := !tots + s;
+      Table.add_row t
+        [ name; string_of_int (f + m + s); string_of_int f; string_of_int s ])
+    entries;
+  Table.add_separator t;
+  Table.add_row t
+    [ "Total"; string_of_int !tot; string_of_int !totf; string_of_int !tots ];
+  t
+
+let coverages entries =
+  let t =
+    Table.create ~title:"Table 2: impactful-time and total-time coverages"
+      [
+        ("Scenario", Table.Left);
+        ("Driver Cost", Table.Right);
+        ("ITC", Table.Right);
+        ("TTC", Table.Right);
+      ]
+  in
+  let n = List.length entries in
+  let sum_dc = ref 0.0 and sum_itc = ref 0.0 and sum_ttc = ref 0.0 in
+  List.iter
+    (fun (name, (r : Pipeline.scenario_result)) ->
+      let dc = Pipeline.driver_cost_fraction r in
+      let itc = r.Pipeline.coverages.Evaluation.itc in
+      let ttc = r.Pipeline.coverages.Evaluation.ttc in
+      sum_dc := !sum_dc +. dc;
+      sum_itc := !sum_itc +. itc;
+      sum_ttc := !sum_ttc +. ttc;
+      Table.add_row t [ name; pct dc; pct itc; pct ttc ])
+    entries;
+  if n > 0 then begin
+    let avg v = v /. float_of_int n in
+    Table.add_separator t;
+    Table.add_row t
+      [ "Average"; pct (avg !sum_dc); pct (avg !sum_itc); pct (avg !sum_ttc) ]
+  end;
+  t
+
+let ranking entries =
+  let t =
+    Table.create ~title:"Table 3: execution-time coverage by ranking"
+      [
+        ("Scenario", Table.Left);
+        ("#Patterns", Table.Right);
+        ("top 10%", Table.Right);
+        ("top 20%", Table.Right);
+        ("top 30%", Table.Right);
+      ]
+  in
+  let n = List.length entries in
+  let sums = Array.make 4 0.0 in
+  List.iter
+    (fun (name, (r : Pipeline.scenario_result)) ->
+      let patterns = r.Pipeline.mining.Mining.patterns in
+      let cov f = Evaluation.ranking_coverage patterns ~top_fraction:f in
+      let c10 = cov 0.10 and c20 = cov 0.20 and c30 = cov 0.30 in
+      sums.(0) <- sums.(0) +. float_of_int (List.length patterns);
+      sums.(1) <- sums.(1) +. c10;
+      sums.(2) <- sums.(2) +. c20;
+      sums.(3) <- sums.(3) +. c30;
+      Table.add_row t
+        [
+          name;
+          string_of_int (List.length patterns);
+          pct c10;
+          pct c20;
+          pct c30;
+        ])
+    entries;
+  if n > 0 then begin
+    let avg i = sums.(i) /. float_of_int n in
+    Table.add_separator t;
+    Table.add_row t
+      [
+        "Average";
+        string_of_int (int_of_float (avg 0));
+        pct (avg 1);
+        pct (avg 2);
+        pct (avg 3);
+      ]
+  end;
+  t
+
+let driver_types entries ~type_names ~type_of =
+  let t =
+    Table.create ~title:"Table 4: driver types in top-10 patterns"
+      (("Scenario", Table.Left)
+      :: List.map (fun n -> (n, Table.Right)) type_names)
+  in
+  List.iter
+    (fun (name, (r : Pipeline.scenario_result)) ->
+      let counts =
+        Evaluation.driver_type_counts r.Pipeline.mining.Mining.patterns
+          ~top_n:10 ~type_of
+      in
+      let cell ty =
+        match List.assoc_opt ty counts with
+        | Some n -> string_of_int n
+        | None -> "-"
+      in
+      Table.add_row t (name :: List.map cell type_names))
+    entries;
+  t
+
+let top_patterns patterns ~n =
+  let buf = Buffer.create 1024 in
+  List.iteri
+    (fun i (p : Mining.pattern) ->
+      if i < n then
+        Buffer.add_string buf
+          (Format.asprintf "#%d  %a@." (i + 1) Mining.pp_pattern p))
+    patterns;
+  Buffer.contents buf
+
+let top_propagation_paths awg ~n =
+  let paths = Awg.full_paths awg in
+  let leaf_cost path = (List.nth path (List.length path - 1)).Awg.cost in
+  let ranked =
+    List.sort (fun a b -> compare (leaf_cost b) (leaf_cost a)) paths
+  in
+  let buf = Buffer.create 1024 in
+  List.iteri
+    (fun i path ->
+      if i < n then begin
+        Buffer.add_string buf (Printf.sprintf "path #%d:\n" (i + 1));
+        List.iteri
+          (fun depth (node : Awg.node) ->
+            Buffer.add_string buf
+              (Format.asprintf "%s%a  C=%a N=%d\n"
+                 (String.make (2 * (depth + 1)) ' ')
+                 Awg.status_pp node.Awg.status Dputil.Time.pp node.Awg.cost
+                 node.Awg.count))
+          path
+      end)
+    ranked;
+  Buffer.contents buf
+
+let awg_summary awg =
+  let red = Awg.reduction awg in
+  Format.asprintf
+    "AWG: %d nodes, total cost %a, leaf cost %a; reduction pruned %d \
+     direct-hardware roots holding %a of %a root cost (%.1f%% non-optimisable)"
+    (Awg.node_count awg) Dputil.Time.pp (Awg.total_cost awg) Dputil.Time.pp
+    (Awg.total_leaf_cost awg) red.Awg.pruned_roots Dputil.Time.pp
+    red.Awg.pruned_cost Dputil.Time.pp red.Awg.total_root_cost
+    (100.0 *. Awg.non_optimizable_fraction awg)

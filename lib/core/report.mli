@@ -1,0 +1,46 @@
+(** Rendering analysis results as the paper's tables.
+
+    Every renderer returns a {!Dputil.Table.t}; callers may add reference
+    columns (the paper's numbers) before printing. *)
+
+val pct : float -> string
+(** [0.364] → ["36.4%"]. *)
+
+val impact_summary : Impact.result -> Dputil.Table.t
+(** §5.1 headline metrics: IA_wait, IA_run, IA_opt, propagation ratio. *)
+
+val module_breakdown : ?top:int -> Impact.module_row list -> Dputil.Table.t
+(** Per-driver-module attribution of the impact metrics ([top] rows,
+    default 12). *)
+
+val scenario_impacts : (string * Impact.result) list -> Dputil.Table.t
+(** Per-scenario IA metrics (from {!Pipeline.impact_per_scenario}). *)
+
+val scenario_classes : (string * Classify.t) list -> Dputil.Table.t
+(** Table 1: instances and contrast-class sizes per scenario. *)
+
+val coverages : (string * Pipeline.scenario_result) list -> Dputil.Table.t
+(** Table 2: Driver Cost %, ITC, TTC per scenario (plus average row). *)
+
+val ranking : (string * Pipeline.scenario_result) list -> Dputil.Table.t
+(** Table 3: #patterns and execution-time coverage of the top
+    10 / 20 / 30 % by rank (plus average row). *)
+
+val driver_types :
+  (string * Pipeline.scenario_result) list ->
+  type_names:string list ->
+  type_of:(Dptrace.Signature.t -> string option) ->
+  Dputil.Table.t
+(** Table 4: driver types appearing in each scenario's top-10 patterns.
+    [type_names] fixes the column order. *)
+
+val top_patterns : Mining.pattern list -> n:int -> string
+(** Listing of the top [n] patterns as Signature Set Tuples with their
+    metrics — the analyst-facing output of the causality analysis. *)
+
+val awg_summary : Awg.t -> string
+(** One-line structural summary plus the reduction statistics. *)
+
+val top_propagation_paths : Awg.t -> n:int -> string
+(** Analyst drill-down: the [n] root-to-leaf propagation chains with the
+    costliest end nodes, rendered one chain per block with per-hop C/N. *)

@@ -1,0 +1,35 @@
+(** Statistical robustness of the impact metrics.
+
+    The paper reports point estimates over one (very large) corpus. Our
+    corpora are smaller, so the bench reports bootstrap confidence
+    intervals: trace streams are resampled with replacement and the impact
+    metrics recomputed per replicate. Resampling at stream granularity is
+    sound because the distinct-wait deduplication never crosses streams —
+    a per-stream {!Impact.result} can be computed once and replicates are
+    cheap merges. *)
+
+type ci = {
+  point : float;  (** Metric on the full corpus. *)
+  mean : float;  (** Bootstrap mean. *)
+  lo : float;  (** 2.5th percentile. *)
+  hi : float;  (** 97.5th percentile. *)
+}
+
+type t = {
+  ia_wait : ci;
+  ia_run : ci;
+  ia_opt : ci;
+  propagation_ratio : ci;
+  replicates : int;
+}
+
+val bootstrap :
+  ?replicates:int -> ?seed:int -> Component.t -> Dptrace.Corpus.t -> t
+(** [replicates] defaults to 200; [seed] (default 1) makes the resampling
+    deterministic. IA metrics are expressed as fractions in [\[0,1\]].
+    With an empty corpus every interval degenerates to 0. *)
+
+val pp : Format.formatter -> t -> unit
+
+val contains : ci -> float -> bool
+(** Whether a value lies within [\[lo, hi\]]. *)

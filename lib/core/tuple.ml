@@ -1,0 +1,86 @@
+module Signature = Dptrace.Signature
+
+type t = {
+  waits : Signature.t array;
+  unwaits : Signature.t array;
+  runnings : Signature.t array;
+}
+
+let normalize sigs =
+  let arr = Array.of_list (List.sort_uniq Signature.compare sigs) in
+  arr
+
+let make ~waits ~unwaits ~runnings =
+  {
+    waits = normalize waits;
+    unwaits = normalize unwaits;
+    runnings = normalize runnings;
+  }
+
+let of_segment nodes =
+  let waits = ref [] and unwaits = ref [] and runnings = ref [] in
+  List.iter
+    (fun (n : Awg.node) ->
+      match n.Awg.status with
+      | Awg.Waiting { wait_sig; unwait_sig } ->
+        waits := wait_sig :: !waits;
+        unwaits := unwait_sig :: !unwaits
+      | Awg.Running s -> runnings := s :: !runnings
+      | Awg.Hw s -> runnings := s :: !runnings)
+    nodes;
+  make ~waits:!waits ~unwaits:!unwaits ~runnings:!runnings
+
+(* Both arrays sorted: subset test by linear merge. *)
+let array_subset small big =
+  let ns = Array.length small and nb = Array.length big in
+  let rec go i j =
+    if i = ns then true
+    else if j = nb then false
+    else
+      let c = Signature.compare small.(i) big.(j) in
+      if c = 0 then go (i + 1) (j + 1)
+      else if c > 0 then go i (j + 1)
+      else false
+  in
+  go 0 0
+
+let subset m p =
+  array_subset m.waits p.waits
+  && array_subset m.unwaits p.unwaits
+  && array_subset m.runnings p.runnings
+
+let is_empty t =
+  Array.length t.waits = 0
+  && Array.length t.unwaits = 0
+  && Array.length t.runnings = 0
+
+let all_signatures t =
+  List.sort_uniq Signature.compare
+    (Array.to_list t.waits @ Array.to_list t.unwaits @ Array.to_list t.runnings)
+
+let ints arr = Array.map Signature.to_int arr
+
+let equal a b = ints a.waits = ints b.waits && ints a.unwaits = ints b.unwaits
+  && ints a.runnings = ints b.runnings
+
+let compare a b =
+  match compare (ints a.waits) (ints b.waits) with
+  | 0 -> (
+    match compare (ints a.unwaits) (ints b.unwaits) with
+    | 0 -> compare (ints a.runnings) (ints b.runnings)
+    | c -> c)
+  | c -> c
+
+let hash t = Hashtbl.hash (ints t.waits, ints t.unwaits, ints t.runnings)
+
+let pp_set fmt arr =
+  Format.fprintf fmt "{%s}"
+    (String.concat ", " (Array.to_list (Array.map Signature.name arr)))
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>wait: %a@,unwait: %a@,running: %a@]" pp_set t.waits
+    pp_set t.unwaits pp_set t.runnings
+
+let to_string t =
+  Format.asprintf "wait:%a unwait:%a running:%a" pp_set t.waits pp_set
+    t.unwaits pp_set t.runnings

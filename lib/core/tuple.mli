@@ -1,0 +1,42 @@
+(** Signature Set Tuples (Definition 5) — the pattern representation.
+
+    A tuple generalises a path segment of an Aggregated Wait Graph into
+    three signature {e sets}: wait signatures (functions that suspend their
+    caller), unwait signatures (functions that signal suspended threads),
+    and running signatures (time-consuming operations, including
+    hardware-service dummy signatures — the paper's example pattern lists
+    [DiskService] in its running set). Sets deliberately forget ordering,
+    so the two interleavings of "two drivers contend a resource held by a
+    third" collapse into one pattern. *)
+
+type t = private {
+  waits : Dptrace.Signature.t array;  (** Sorted, distinct. *)
+  unwaits : Dptrace.Signature.t array;
+  runnings : Dptrace.Signature.t array;
+}
+
+val of_segment : Awg.node list -> t
+(** Tuple of a path segment: union of the node signatures by role. *)
+
+val make :
+  waits:Dptrace.Signature.t list ->
+  unwaits:Dptrace.Signature.t list ->
+  runnings:Dptrace.Signature.t list ->
+  t
+(** Direct construction (tests, baselines). *)
+
+val subset : t -> t -> bool
+(** [subset m p] — every signature of [m] appears in [p], role-wise; the
+    containment test used to match contrast meta-patterns against
+    full-path patterns. *)
+
+val is_empty : t -> bool
+
+val all_signatures : t -> Dptrace.Signature.t list
+(** Distinct signatures across the three sets. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

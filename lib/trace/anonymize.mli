@@ -1,0 +1,26 @@
+(** Corpus anonymisation.
+
+    The paper anonymises driver, resource and scenario names before
+    publication (Section 2.2: "Due to confidentiality, we anonymize the
+    names..."). This module performs that scrubbing mechanically so a
+    corpus collected on real systems can be shared: every module name,
+    function name, thread name and (optionally) scenario name is replaced
+    by a consistent opaque token.
+
+    The renaming is {e structure-preserving}: module identity, the
+    [".sys"] suffix (so component filters such as ["*.sys"] still select
+    the same events), wait/unwait pairings and all timings survive — both
+    analyses produce numerically identical results on the anonymised
+    corpus, with renamed signatures. The ["kernel"] module and hardware
+    dummy service names are left intact: they denote OS/hardware
+    infrastructure, not the traced party's software. *)
+
+type mapping = (string * string) list
+(** original name → anonymised token (the "key escrow"), sorted. *)
+
+val corpus : ?keep_scenarios:bool -> Corpus.t -> Corpus.t * mapping
+(** Anonymise. Tokens are assigned in first-appearance order (streams in
+    corpus order, events in stream order), so the same corpus always
+    anonymises the same way. [keep_scenarios] (default [false]) preserves
+    scenario names (they are often generic enough to publish, as in
+    Table 1). *)

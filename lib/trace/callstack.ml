@@ -1,0 +1,38 @@
+type t = Signature.t array
+
+let of_list frames = Array.of_list frames
+let of_strings texts = Array.of_list (List.map Signature.of_string texts)
+let frames t = t
+let top t = if Array.length t = 0 then None else Some t.(0)
+let depth = Array.length
+
+let push f t =
+  let n = Array.length t in
+  let fresh = Array.make (n + 1) f in
+  Array.blit t 0 fresh 1 n;
+  fresh
+
+let topmost_matching patterns t =
+  let n = Array.length t in
+  let rec go i =
+    if i = n then None
+    else if Signature.matches patterns t.(i) then Some t.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let contains_matching patterns t =
+  Array.exists (Signature.matches patterns) t
+
+let contains f t = Array.exists (Signature.equal f) t
+
+let equal a b = Array.length a = Array.length b && Array.for_all2 Signature.equal a b
+
+let hash t = Hashtbl.hash (Array.map Signature.to_int t)
+
+let pp fmt t =
+  Format.fprintf fmt "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " <- ")
+       Signature.pp)
+    (Array.to_list t)

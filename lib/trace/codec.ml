@@ -1,0 +1,201 @@
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let magic = "dptrace"
+let version = 1
+
+(* The format is whitespace-delimited: names with blanks would corrupt it
+   silently on the way back in. Fail loudly on the way out instead. *)
+let check_token what s =
+  if s = "" || String.exists (fun c -> c = ' ' || c = '\t' || c = '\n' || c = ';') s
+  then invalid_arg (Printf.sprintf "Codec: %s %S is not encodable" what s)
+
+(* --- Writing --- *)
+
+let buf_event buf (e : Event.t) =
+  let frames =
+    Callstack.frames e.stack |> Array.to_list |> List.map Signature.name
+    |> String.concat ";"
+  in
+  let frames = if frames = "" then "-" else frames in
+  Printf.bprintf buf "event %s %d %d %d %d %s\n"
+    (Event.kind_to_string e.kind)
+    e.tid e.ts e.cost e.wtid frames
+
+let buf_stream buf (st : Stream.t) =
+  Printf.bprintf buf "stream %d\n" st.Stream.id;
+  List.iter
+    (fun (tid, name) ->
+      check_token "thread name" name;
+      Printf.bprintf buf "thread %d %s\n" tid name)
+    st.Stream.threads;
+  Array.iter (buf_event buf) st.Stream.events;
+  List.iter
+    (fun (i : Scenario.instance) ->
+      check_token "scenario name" i.scenario;
+      Printf.bprintf buf "instance %s %d %d %d\n" i.scenario i.tid i.t0 i.t1)
+    st.Stream.instances;
+  Buffer.add_string buf "end\n"
+
+let corpus_to_string (c : Corpus.t) =
+  let buf = Buffer.create 65536 in
+  Printf.bprintf buf "%s %d\n" magic version;
+  List.iter
+    (fun (s : Scenario.spec) ->
+      Printf.bprintf buf "spec %s %d %d\n" s.name s.tfast s.tslow)
+    c.specs;
+  List.iter (buf_stream buf) c.streams;
+  Buffer.contents buf
+
+let write_corpus oc c = output_string oc (corpus_to_string c)
+
+(* --- Reading --- *)
+
+type parser_state = {
+  mutable line : int;
+  mutable specs : Scenario.spec list;
+  mutable streams : Stream.t list;
+  (* Current stream under construction, if any. *)
+  mutable cur_id : int option;
+  mutable cur_events : Event.t list;
+  mutable cur_instances : Scenario.instance list;
+  mutable cur_threads : (int * string) list;
+}
+
+let int_field st what s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail st.line "invalid %s: %S" what s
+
+let parse_stack _st s =
+  if s = "-" then Callstack.of_list []
+  else Callstack.of_strings (String.split_on_char ';' s)
+
+let finish_stream st =
+  match st.cur_id with
+  | None -> ()
+  | Some id ->
+    let stream =
+      Stream.create ~id
+        ~events:(List.rev st.cur_events)
+        ~instances:(List.rev st.cur_instances)
+        ~threads:(List.rev st.cur_threads)
+    in
+    st.streams <- stream :: st.streams;
+    st.cur_id <- None;
+    st.cur_events <- [];
+    st.cur_instances <- [];
+    st.cur_threads <- []
+
+let in_stream st =
+  match st.cur_id with
+  | Some _ -> ()
+  | None -> fail st.line "directive outside of a stream block"
+
+let parse_line st raw =
+  let words =
+    String.split_on_char ' ' (String.trim raw) |> List.filter (fun w -> w <> "")
+  in
+  match words with
+  | [] -> ()
+  | "spec" :: [ name; tfast; tslow ] ->
+    let tfast = int_field st "tfast" tfast and tslow = int_field st "tslow" tslow in
+    if not (0 < tfast && tfast <= tslow) then
+      fail st.line "spec %s: need 0 < tfast <= tslow" name;
+    st.specs <- Scenario.spec ~name ~tfast ~tslow :: st.specs
+  | "stream" :: [ id ] ->
+    if st.cur_id <> None then fail st.line "nested stream block";
+    st.cur_id <- Some (int_field st "stream id" id)
+  | "thread" :: [ tid; name ] ->
+    in_stream st;
+    st.cur_threads <- (int_field st "tid" tid, name) :: st.cur_threads
+  | "event" :: [ kind; tid; ts; cost; wtid; frames ] ->
+    in_stream st;
+    let kind =
+      match Event.kind_of_string kind with
+      | Some k -> k
+      | None -> fail st.line "unknown event kind %S" kind
+    in
+    let e : Event.t =
+      {
+        id = 0;
+        kind;
+        stack = parse_stack st frames;
+        ts = int_field st "ts" ts;
+        cost = int_field st "cost" cost;
+        tid = int_field st "tid" tid;
+        wtid = int_field st "wtid" wtid;
+      }
+    in
+    if e.cost < 0 then fail st.line "negative cost";
+    st.cur_events <- e :: st.cur_events
+  | "instance" :: [ scenario; tid; t0; t1 ] ->
+    in_stream st;
+    let t0 = int_field st "t0" t0 and t1 = int_field st "t1" t1 in
+    if t1 < t0 then fail st.line "instance with t1 < t0";
+    st.cur_instances <-
+      { Scenario.scenario; tid = int_field st "tid" tid; t0; t1 }
+      :: st.cur_instances
+  | [ "end" ] ->
+    in_stream st;
+    finish_stream st
+  | word :: _ -> fail st.line "unrecognised directive %S" word
+
+let read_lines next_line =
+  let st =
+    {
+      line = 0;
+      specs = [];
+      streams = [];
+      cur_id = None;
+      cur_events = [];
+      cur_instances = [];
+      cur_threads = [];
+    }
+  in
+  (* Header. *)
+  (match next_line () with
+  | None -> fail 1 "empty input"
+  | Some header ->
+    st.line <- 1;
+    (match String.split_on_char ' ' (String.trim header) with
+    | [ m; v ] when m = magic ->
+      let v = int_field st "version" v in
+      if v <> version then fail st.line "unsupported version %d" v
+    | _ -> fail st.line "bad header %S" header));
+  let rec loop () =
+    match next_line () with
+    | None -> ()
+    | Some raw ->
+      st.line <- st.line + 1;
+      parse_line st raw;
+      loop ()
+  in
+  loop ();
+  if st.cur_id <> None then fail st.line "unterminated stream block";
+  Corpus.create ~streams:(List.rev st.streams) ~specs:(List.rev st.specs)
+
+let read_corpus ic =
+  read_lines (fun () -> try Some (input_line ic) with End_of_file -> None)
+
+let corpus_of_string s =
+  let lines = ref (String.split_on_char '\n' s) in
+  read_lines (fun () ->
+      match !lines with
+      | [] -> None
+      | [ "" ] ->
+        lines := [];
+        None
+      | l :: rest ->
+        lines := rest;
+        Some l)
+
+let save path c =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_corpus oc c)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_corpus ic)

@@ -1,0 +1,40 @@
+(** Versioned text serialisation of corpora.
+
+    The format is line-oriented so that real tracing backends (ETW via
+    [xperf], DTrace scripts) can be converted to it with a small exporter:
+
+    {v
+    dptrace 1
+    spec <name> <tfast_us> <tslow_us>
+    stream <id>
+    thread <tid> <name>
+    event <kind> <tid> <ts_us> <cost_us> <wtid> <frame;frame;...>
+    instance <scenario> <tid> <t0_us> <t1_us>
+    end
+    v}
+
+    [kind] is one of [run]/[wait]/[unwait]/[hw]; frames are topmost-first
+    and may not contain [';'] or whitespace. [wtid] is [-1] except on
+    unwaits. Thread names may not contain whitespace. *)
+
+exception Parse_error of { line : int; message : string }
+
+val write_corpus : out_channel -> Corpus.t -> unit
+(** @raise Invalid_argument if a thread or scenario name contains
+    whitespace or [';'] — such corpora cannot round-trip through the text
+    format (use {!Codec_binary}, or rename). *)
+
+val read_corpus : in_channel -> Corpus.t
+(** @raise Parse_error on malformed input. *)
+
+val corpus_to_string : Corpus.t -> string
+val corpus_of_string : string -> Corpus.t
+(** @raise Parse_error on malformed input. *)
+
+val save : string -> Corpus.t -> unit
+(** Write to a file path. *)
+
+val load : string -> Corpus.t
+(** Read from a file path.
+    @raise Parse_error on malformed input
+    @raise Sys_error if the file cannot be opened. *)

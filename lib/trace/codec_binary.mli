@@ -1,0 +1,32 @@
+(** Compact binary serialisation of corpora.
+
+    The text format ({!Codec}) is the interchange format; this one is for
+    volume. Signatures are table-encoded once per corpus, events reference
+    them by index, and all integers are unsigned LEB128 varints — several
+    times smaller and faster to load than the text form.
+
+    Layout:
+    {v
+    magic "DPTB", u8 version (=1)
+    v #signatures, each: v length + bytes
+    v #specs,      each: str name, v tfast, v tslow
+    v #streams,    each:
+      v id
+      v #threads,  each: v tid, str name
+      v #events,   each: u8 kind, v tid, v wtid(+1 biased), v ts,
+                         v cost, v depth, v sig-index ...
+      v #instances, each: str scenario, v tid, v t0, v t1
+    v}
+    where [v] is a varint and [str] is a varint length followed by
+    bytes. *)
+
+exception Corrupt of string
+(** Raised on truncated or malformed input. *)
+
+val encode : Corpus.t -> string
+val decode : string -> Corpus.t
+(** @raise Corrupt on malformed input. *)
+
+val save : string -> Corpus.t -> unit
+val load : string -> Corpus.t
+(** @raise Corrupt / [Sys_error]. *)

@@ -1,0 +1,27 @@
+(** A corpus: many trace streams plus the scenario specifications
+    (thresholds) needed to classify their instances. *)
+
+type t = { streams : Stream.t list; specs : Scenario.spec list }
+
+val create : streams:Stream.t list -> specs:Scenario.spec list -> t
+
+val find_spec : t -> string -> Scenario.spec option
+(** Spec by scenario name. *)
+
+val scenario_names : t -> string list
+(** Distinct scenario names present in the instances, sorted. *)
+
+val all_instances : t -> (Stream.t * Scenario.instance) list
+(** Every instance with its enclosing stream. *)
+
+val instances_of : t -> string -> (Stream.t * Scenario.instance) list
+(** Instances of one scenario. *)
+
+val instance_count : t -> int
+val stream_count : t -> int
+val event_count : t -> int
+
+val total_scenario_time : t -> Dputil.Time.t
+(** Σ instance durations — the paper's [D_scn] denominator. *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,142 @@
+type kind_counts = {
+  running : int;
+  waits : int;
+  unwaits : int;
+  hw_services : int;
+}
+
+type scenario_stats = {
+  scenario : string;
+  instances : int;
+  durations_ms : Dputil.Stats.summary;
+}
+
+type t = {
+  streams : int;
+  instances : int;
+  events : int;
+  kinds : kind_counts;
+  total_scenario_time : Dputil.Time.t;
+  span : Dputil.Time.t;
+  distinct_signatures : int;
+  max_stack_depth : int;
+  mean_stack_depth : float;
+  threads : int;
+  per_scenario : scenario_stats list;
+}
+
+let compute (c : Corpus.t) =
+  let running = ref 0
+  and waits = ref 0
+  and unwaits = ref 0
+  and hw = ref 0 in
+  let span = ref 0 in
+  let threads = ref 0 in
+  let depth_sum = ref 0 and depth_max = ref 0 and depth_n = ref 0 in
+  let sigs : (Signature.t, unit) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun (st : Stream.t) ->
+      span := !span + Stream.duration st;
+      threads := !threads + List.length st.Stream.threads;
+      Array.iter
+        (fun (e : Event.t) ->
+          (match e.kind with
+          | Event.Running -> incr running
+          | Event.Wait -> incr waits
+          | Event.Unwait -> incr unwaits
+          | Event.Hw_service -> incr hw);
+          let d = Callstack.depth e.stack in
+          depth_sum := !depth_sum + d;
+          if d > !depth_max then depth_max := d;
+          incr depth_n;
+          Array.iter
+            (fun s -> Hashtbl.replace sigs s ())
+            (Callstack.frames e.stack))
+        st.Stream.events)
+    c.Corpus.streams;
+  let per_scenario =
+    List.map
+      (fun name ->
+        let durations =
+          Corpus.instances_of c name
+          |> List.map (fun (_, i) ->
+                 Dputil.Time.to_ms_float (Scenario.duration i))
+          |> Array.of_list
+        in
+        {
+          scenario = name;
+          instances = Array.length durations;
+          durations_ms = Dputil.Stats.summarize durations;
+        })
+      (Corpus.scenario_names c)
+    |> List.sort (fun (a : scenario_stats) (b : scenario_stats) ->
+           match compare b.instances a.instances with
+           | 0 -> compare a.scenario b.scenario
+           | x -> x)
+  in
+  {
+    streams = Corpus.stream_count c;
+    instances = Corpus.instance_count c;
+    events = Corpus.event_count c;
+    kinds =
+      { running = !running; waits = !waits; unwaits = !unwaits; hw_services = !hw };
+    total_scenario_time = Corpus.total_scenario_time c;
+    span = !span;
+    distinct_signatures = Hashtbl.length sigs;
+    max_stack_depth = !depth_max;
+    mean_stack_depth =
+      Dputil.Stats.ratio (float_of_int !depth_sum) (float_of_int !depth_n);
+    threads = !threads;
+    per_scenario;
+  }
+
+let render t =
+  let buf = Buffer.create 2048 in
+  let overview =
+    Dputil.Table.create ~title:"Corpus overview"
+      [ ("Quantity", Dputil.Table.Left); ("Value", Dputil.Table.Right) ]
+  in
+  List.iter
+    (fun (k, v) -> Dputil.Table.add_row overview [ k; v ])
+    [
+      ("streams", string_of_int t.streams);
+      ("threads", string_of_int t.threads);
+      ("scenario instances", string_of_int t.instances);
+      ("events", string_of_int t.events);
+      ("  running", string_of_int t.kinds.running);
+      ("  wait", string_of_int t.kinds.waits);
+      ("  unwait", string_of_int t.kinds.unwaits);
+      ("  hardware service", string_of_int t.kinds.hw_services);
+      ("scenario time", Dputil.Time.to_string t.total_scenario_time);
+      ("recorded span", Dputil.Time.to_string t.span);
+      ("distinct signatures", string_of_int t.distinct_signatures);
+      ( "stack depth mean / max",
+        Printf.sprintf "%.1f / %d" t.mean_stack_depth t.max_stack_depth );
+    ];
+  Buffer.add_string buf (Dputil.Table.render overview);
+  Buffer.add_char buf '\n';
+  let scen =
+    Dputil.Table.create ~title:"Per-scenario instance durations (ms)"
+      [
+        ("Scenario", Dputil.Table.Left);
+        ("n", Dputil.Table.Right);
+        ("mean", Dputil.Table.Right);
+        ("p50", Dputil.Table.Right);
+        ("p90", Dputil.Table.Right);
+        ("max", Dputil.Table.Right);
+      ]
+  in
+  List.iter
+    (fun s ->
+      Dputil.Table.add_row scen
+        [
+          s.scenario;
+          string_of_int s.instances;
+          Printf.sprintf "%.0f" s.durations_ms.Dputil.Stats.mean;
+          Printf.sprintf "%.0f" s.durations_ms.Dputil.Stats.p50;
+          Printf.sprintf "%.0f" s.durations_ms.Dputil.Stats.p90;
+          Printf.sprintf "%.0f" s.durations_ms.Dputil.Stats.max;
+        ])
+    t.per_scenario;
+  Buffer.add_string buf (Dputil.Table.render scen);
+  Buffer.contents buf

@@ -1,0 +1,37 @@
+(** Descriptive statistics of a corpus.
+
+    The first thing an analyst does with a new batch of traces: how much
+    data, what is in it, how do the scenarios distribute. Also the place
+    where corpus-generation changes show up at a glance. *)
+
+type kind_counts = {
+  running : int;
+  waits : int;
+  unwaits : int;
+  hw_services : int;
+}
+
+type scenario_stats = {
+  scenario : string;
+  instances : int;
+  durations_ms : Dputil.Stats.summary;  (** Over instance durations. *)
+}
+
+type t = {
+  streams : int;
+  instances : int;
+  events : int;
+  kinds : kind_counts;
+  total_scenario_time : Dputil.Time.t;
+  span : Dputil.Time.t;  (** Σ of per-stream recorded spans. *)
+  distinct_signatures : int;
+  max_stack_depth : int;
+  mean_stack_depth : float;
+  threads : int;
+  per_scenario : scenario_stats list;  (** Sorted by instance count, desc. *)
+}
+
+val compute : Corpus.t -> t
+
+val render : t -> string
+(** Multi-table plain-text report. *)

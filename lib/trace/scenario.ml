@@ -1,0 +1,25 @@
+type spec = { name : string; tfast : Dputil.Time.t; tslow : Dputil.Time.t }
+
+type instance = {
+  scenario : string;
+  tid : int;
+  t0 : Dputil.Time.t;
+  t1 : Dputil.Time.t;
+}
+
+let spec ~name ~tfast ~tslow =
+  if not (0 < tfast && tfast <= tslow) then
+    invalid_arg "Scenario.spec: need 0 < tfast <= tslow";
+  { name; tfast; tslow }
+
+let duration i = i.t1 - i.t0
+
+type speed_class = Fast | Middle | Slow
+
+let classify spec i =
+  let d = duration i in
+  if d < spec.tfast then Fast else if d > spec.tslow then Slow else Middle
+
+let pp_instance fmt i =
+  Format.fprintf fmt "%s tid=%d [%a, %a] (%a)" i.scenario i.tid Dputil.Time.pp
+    i.t0 Dputil.Time.pp i.t1 Dputil.Time.pp (duration i)

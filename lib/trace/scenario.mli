@@ -1,0 +1,36 @@
+(** Scenarios and scenario instances (Section 2.1).
+
+    A {e scenario} is a named user-visible operation (e.g.
+    ["BrowserTabCreate"]) with developer-specified performance thresholds:
+    [tfast] is the upper bound of normal performance and [tslow] the lower
+    bound of degradation (Section 4.2.1). A {e scenario instance} is one
+    execution of a scenario within a trace stream, identified by its
+    initiating thread and time window. *)
+
+type spec = {
+  name : string;
+  tfast : Dputil.Time.t;  (** Instances faster than this are "fast". *)
+  tslow : Dputil.Time.t;  (** Instances slower than this are "slow". *)
+}
+
+type instance = {
+  scenario : string;
+  tid : int;  (** Initiating thread. *)
+  t0 : Dputil.Time.t;
+  t1 : Dputil.Time.t;
+}
+
+val spec : name:string -> tfast:Dputil.Time.t -> tslow:Dputil.Time.t -> spec
+(** @raise Invalid_argument unless [0 < tfast <= tslow]. *)
+
+val duration : instance -> Dputil.Time.t
+(** [t1 - t0]. *)
+
+type speed_class = Fast | Middle | Slow
+
+val classify : spec -> instance -> speed_class
+(** [Fast] when duration < [tfast], [Slow] when duration > [tslow],
+    [Middle] otherwise (Middle instances are excluded from contrast
+    mining). *)
+
+val pp_instance : Format.formatter -> instance -> unit

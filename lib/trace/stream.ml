@@ -1,0 +1,122 @@
+type t = {
+  id : int;
+  events : Event.t array;
+  instances : Scenario.instance list;
+  threads : (int * string) list;
+}
+
+let create ~id ~events ~instances ~threads =
+  (* Order: timestamp, then thread, then zero-cost events (unwaits) before
+     cost-bearing ones — a thread that releases a lock and computes at the
+     same instant has released first — then emission order for
+     determinism. *)
+  let tagged = Array.of_list (List.mapi (fun pos e -> (pos, e)) events) in
+  Array.sort
+    (fun (pa, (a : Event.t)) (pb, (b : Event.t)) ->
+      match compare a.ts b.ts with
+      | 0 -> (
+        match compare a.tid b.tid with
+        | 0 -> (
+          match compare (min a.cost 1) (min b.cost 1) with
+          | 0 -> compare pa pb
+          | c -> c)
+        | c -> c)
+      | c -> c)
+    tagged;
+  let renumbered =
+    Array.mapi (fun i (_, (e : Event.t)) -> { e with Event.id = i }) tagged
+  in
+  { id; events = renumbered; instances; threads }
+
+let thread_name t tid =
+  match List.assoc_opt tid t.threads with
+  | Some name -> name
+  | None -> Printf.sprintf "tid%d" tid
+
+let duration t =
+  let n = Array.length t.events in
+  if n = 0 then 0
+  else begin
+    let last_end = Array.fold_left (fun acc e -> max acc (Event.end_ts e)) 0 t.events in
+    last_end - t.events.(0).Event.ts
+  end
+
+let event_count t = Array.length t.events
+
+type index = {
+  by_tid : (int, Event.t array) Hashtbl.t;
+  unwaits_by_wtid : (int, Event.t array) Hashtbl.t;
+}
+
+let group_by key events =
+  let acc : (int, Event.t list) Hashtbl.t = Hashtbl.create 64 in
+  (* Iterate in reverse so each bucket list ends up timestamp-ordered. *)
+  for i = Array.length events - 1 downto 0 do
+    let e = events.(i) in
+    match key e with
+    | None -> ()
+    | Some k ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt acc k) in
+      Hashtbl.replace acc k (e :: prev)
+  done;
+  let out = Hashtbl.create (Hashtbl.length acc) in
+  Hashtbl.iter (fun k es -> Hashtbl.replace out k (Array.of_list es)) acc;
+  out
+
+let index t =
+  {
+    by_tid = group_by (fun (e : Event.t) -> Some e.tid) t.events;
+    unwaits_by_wtid =
+      group_by
+        (fun (e : Event.t) -> if Event.is_unwait e then Some e.wtid else None)
+        t.events;
+  }
+
+let events_of_thread idx tid =
+  Option.value ~default:[||] (Hashtbl.find_opt idx.by_tid tid)
+
+(* First index i with arr.(i).ts >= target. *)
+let lower_bound (arr : Event.t array) target =
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if arr.(mid).Event.ts < target then go (mid + 1) hi else go lo mid
+  in
+  go 0 (Array.length arr)
+
+let thread_events_overlapping idx ~tid ~from_ts ~to_ts =
+  let arr = events_of_thread idx tid in
+  (* An event overlaps iff ts <= to_ts and end_ts >= from_ts. Events are
+     ts-sorted; a long event may start well before [from_ts], so scan back
+     from the first event starting at/after [from_ts] while spans still can
+     reach the window. Per-thread events do not overlap each other, so at
+     most one predecessor qualifies. *)
+  let start = lower_bound arr from_ts in
+  let before =
+    if start > 0 && Event.end_ts arr.(start - 1) >= from_ts then [ arr.(start - 1) ]
+    else []
+  in
+  let rec collect i acc =
+    if i >= Array.length arr || arr.(i).Event.ts > to_ts then List.rev acc
+    else collect (i + 1) (arr.(i) :: acc)
+  in
+  before @ collect start []
+
+let find_waker idx (w : Event.t) =
+  let arr = Option.value ~default:[||] (Hashtbl.find_opt idx.unwaits_by_wtid w.tid) in
+  (* An unwait at exactly [w.ts] belongs to whatever wait ended there, not
+     to a wait beginning there — threads commonly re-block at the very
+     instant they are woken (FIFO hand-offs), and matching the stale
+     unwait would truncate the propagation chain. Only zero-duration
+     waits may pair at their own start instant. *)
+  let earliest = if w.cost = 0 then w.ts else w.ts + 1 in
+  let start = lower_bound arr earliest in
+  if start < Array.length arr && arr.(start).Event.ts <= Event.end_ts w then
+    Some arr.(start)
+  else None
+
+let pp_summary fmt t =
+  Format.fprintf fmt "stream %d: %d events, %d instances, %d threads, span %a"
+    t.id (Array.length t.events) (List.length t.instances)
+    (List.length t.threads) Dputil.Time.pp (duration t)

@@ -1,0 +1,58 @@
+(** Trace streams (Section 2.1): the event sequence recorded on one machine
+    over one tracing session, plus the scenario instances it contains.
+
+    Events are sorted by timestamp and carry dense ids equal to their index,
+    so an event id identifies an event within its stream; the pair
+    [(stream id, event id)] identifies it within a corpus — the identity
+    used by the distinct-wait deduplication of Section 3.2. *)
+
+type t = private {
+  id : int;
+  events : Event.t array;  (** Sorted by [ts]; [events.(i).id = i]. *)
+  instances : Scenario.instance list;
+  threads : (int * string) list;  (** tid → human-readable thread name. *)
+}
+
+val create :
+  id:int ->
+  events:Event.t list ->
+  instances:Scenario.instance list ->
+  threads:(int * string) list ->
+  t
+(** Sorts the events by [(ts, tid)] and renumbers their ids to be the array
+    indices; the ids supplied by the caller are ignored. *)
+
+val thread_name : t -> int -> string
+(** Name of a thread, or ["tid<N>"] if unregistered. *)
+
+val duration : t -> Dputil.Time.t
+(** Span from the first event start to the last event end; 0 if empty. *)
+
+val event_count : t -> int
+
+(** {1 Indexed queries}
+
+    An [index] is built once per stream and shared by all per-instance
+    analyses of that stream. *)
+
+type index
+
+val index : t -> index
+
+val events_of_thread : index -> int -> Event.t array
+(** All events of a thread, timestamp-ordered ([| |] for unknown tids). *)
+
+val thread_events_overlapping :
+  index -> tid:int -> from_ts:Dputil.Time.t -> to_ts:Dputil.Time.t -> Event.t list
+(** Events of [tid] whose span [\[ts, ts+cost\]] intersects
+    [\[from_ts, to_ts\]], in timestamp order. Zero-cost events (unwaits)
+    count as intersecting when their instant lies within the window. *)
+
+val find_waker : index -> Event.t -> Event.t option
+(** [find_waker idx w] is the unwait event that ended wait [w]: the first
+    unwait with [wtid = w.tid] and timestamp in [(w.ts, w.ts + w.cost\]]
+    (closed at [w.ts] too when [w.cost = 0] — an unwait at exactly the
+    start instant otherwise belongs to the wait that {e ended} there).
+    [None] if the trace lost the pairing (truncated stream). *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,87 @@
+(* Rendering priority when several event kinds share a bucket. *)
+let priority = function
+  | ' ' -> 0
+  | '.' -> 1
+  | '|' -> 2
+  | '~' -> 3
+  | '#' -> 4
+  | _ -> 5
+
+let glyph (e : Event.t) =
+  match e.Event.kind with
+  | Event.Running -> '#'
+  | Event.Wait -> '.'
+  | Event.Unwait -> '|'
+  | Event.Hw_service -> '~'
+
+let render ?(width = 72) ?from_ts ?to_ts (st : Stream.t) =
+  let events = st.Stream.events in
+  if Array.length events = 0 then "(empty stream)\n"
+  else begin
+    let lo =
+      match from_ts with Some t -> t | None -> events.(0).Event.ts
+    in
+    let hi =
+      match to_ts with
+      | Some t -> t
+      | None -> Array.fold_left (fun acc e -> max acc (Event.end_ts e)) lo events
+    in
+    let hi = max hi (lo + 1) in
+    let span = hi - lo in
+    let bucket_of ts =
+      let b = (ts - lo) * width / span in
+      min (width - 1) (max 0 b)
+    in
+    (* Row per thread, created on first activity so ordering follows the
+       narrative of the window. *)
+    let rows : (int, Bytes.t) Hashtbl.t = Hashtbl.create 16 in
+    let order = ref [] in
+    let row tid =
+      match Hashtbl.find_opt rows tid with
+      | Some r -> r
+      | None ->
+        let r = Bytes.make width ' ' in
+        Hashtbl.replace rows tid r;
+        order := tid :: !order;
+        r
+    in
+    Array.iter
+      (fun (e : Event.t) ->
+        if e.Event.ts <= hi && Event.end_ts e >= lo then begin
+          let r = row e.Event.tid in
+          let g = glyph e in
+          let b0 = bucket_of (max lo e.Event.ts) in
+          let b1 = bucket_of (min hi (max e.Event.ts (Event.end_ts e - 1))) in
+          for b = b0 to b1 do
+            if priority g > priority (Bytes.get r b) then Bytes.set r b g
+          done
+        end)
+      events;
+    let buf = Buffer.create 2048 in
+    let label_width =
+      List.fold_left
+        (fun acc tid -> max acc (String.length (Stream.thread_name st tid)))
+        6 !order
+    in
+    Buffer.add_string buf
+      (Format.asprintf "timeline %a .. %a (%a per column)\n" Dputil.Time.pp lo
+         Dputil.Time.pp hi Dputil.Time.pp
+         (max 1 (span / width)));
+    List.iter
+      (fun tid ->
+        Buffer.add_string buf
+          (Printf.sprintf "%-*s |%s|\n" label_width
+             (Stream.thread_name st tid)
+             (Bytes.to_string (Hashtbl.find rows tid))))
+      (List.rev !order);
+    Buffer.add_string buf
+      (Printf.sprintf "%-*s  %s\n" label_width ""
+         (String.concat ""
+            [ "#=running  .=wait  ~=hw service  |=unwait" ]));
+    Buffer.contents buf
+  end
+
+let render_instance ?width (st : Stream.t) (i : Scenario.instance) =
+  let margin = max 1 ((i.Scenario.t1 - i.Scenario.t0) / 20) in
+  render ?width ~from_ts:(max 0 (i.Scenario.t0 - margin))
+    ~to_ts:(i.Scenario.t1 + margin) st

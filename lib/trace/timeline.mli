@@ -1,0 +1,30 @@
+(** ASCII thread-timeline rendering.
+
+    Figure 1 of the paper is "a thread-level snapshot restructured from
+    the trace stream to show the period of delay". This module draws that
+    snapshot: one row per thread, time flowing right, with each column
+    summarising what the thread was doing in that time bucket:
+
+    {v
+    #  running          .  waiting
+    ~  hardware service |  unwait performed in this bucket
+       (blank)          off-CPU with nothing recorded
+    v}
+
+    When several event kinds fall into one bucket the most informative
+    wins (running > hardware > unwait > waiting). *)
+
+val render :
+  ?width:int ->
+  ?from_ts:Dputil.Time.t ->
+  ?to_ts:Dputil.Time.t ->
+  Stream.t ->
+  string
+(** [render st] draws the whole stream ([from_ts]/[to_ts] clip the window)
+    into [width] buckets (default 72). Threads with no events in the
+    window are omitted; rows are ordered by first activity. Returns a
+    ready-to-print block including the legend and a time axis. *)
+
+val render_instance : ?width:int -> Stream.t -> Scenario.instance -> string
+(** The instance's window with 5% margins — the Figure 1 view of one
+    scenario execution. *)

@@ -1,0 +1,82 @@
+type t = {
+  lo : float;
+  hi : float;
+  bins : int array;
+}
+
+let create ?(buckets = 20) samples =
+  if buckets < 1 then invalid_arg "Histogram.create: buckets must be >= 1";
+  if Array.length samples = 0 then { lo = 0.0; hi = 0.0; bins = [||] }
+  else begin
+    let lo = Array.fold_left Float.min samples.(0) samples in
+    let hi = Array.fold_left Float.max samples.(0) samples in
+    if lo = hi then { lo; hi; bins = [| Array.length samples |] }
+    else begin
+      let bins = Array.make buckets 0 in
+      let width = (hi -. lo) /. float_of_int buckets in
+      Array.iter
+        (fun x ->
+          let b = int_of_float ((x -. lo) /. width) in
+          let b = min (buckets - 1) (max 0 b) in
+          bins.(b) <- bins.(b) + 1)
+        samples;
+      { lo; hi; bins }
+    end
+  end
+
+let bucket_count t = Array.length t.bins
+
+let counts t = Array.copy t.bins
+
+let bounds t =
+  let n = Array.length t.bins in
+  if n = 0 then [||]
+  else begin
+    let width = (t.hi -. t.lo) /. float_of_int n in
+    Array.init n (fun i ->
+        ( t.lo +. (float_of_int i *. width),
+          if i = n - 1 then t.hi else t.lo +. (float_of_int (i + 1) *. width) ))
+  end
+
+let default_label = Printf.sprintf "%.0f"
+
+let render_lines ?(width = 50) ?(label = default_label) ~annotate t =
+  if Array.length t.bins = 0 then "(no samples)\n"
+  else begin
+    let peak = Array.fold_left max 1 t.bins in
+    let bs = bounds t in
+    let buf = Buffer.create 1024 in
+    let label_width =
+      Array.fold_left
+        (fun acc (lo, hi) ->
+          max acc (String.length (Printf.sprintf "%s .. %s" (label lo) (label hi))))
+        0 bs
+    in
+    Array.iteri
+      (fun i (lo, hi) ->
+        let bar = t.bins.(i) * width / peak in
+        Buffer.add_string buf
+          (Printf.sprintf "%-*s |%-*s %d%s\n" label_width
+             (Printf.sprintf "%s .. %s" (label lo) (label hi))
+             width
+             (String.make bar '#')
+             t.bins.(i) (annotate i lo hi)))
+      bs;
+    Buffer.contents buf
+  end
+
+let render ?width ?label t =
+  render_lines ?width ?label ~annotate:(fun _ _ _ -> "") t
+
+let render_with_markers ?width ~markers t =
+  let n = Array.length t.bins in
+  let annotate i lo hi =
+    let inside (_, v) =
+      (v >= lo && v < hi) || (i = n - 1 && v = hi)
+    in
+    match List.filter inside markers with
+    | [] -> ""
+    | hits ->
+      "  <- " ^ String.concat ", " (List.map (fun (name, _) -> name) hits)
+  in
+  render_lines ?width ~annotate t

@@ -1,0 +1,28 @@
+(** ASCII histograms for duration distributions.
+
+    Analysts eyeball the fast/middle/slow structure of a scenario before
+    trusting thresholds; a terminal histogram is the quickest way. *)
+
+type t
+
+val create : ?buckets:int -> float array -> t
+(** Bucket the samples into [buckets] (default 20) equal-width bins
+    between the sample min and max. An empty input yields an empty
+    histogram; a constant input yields one full bin. *)
+
+val bucket_count : t -> int
+
+val counts : t -> int array
+(** Per-bin sample counts. *)
+
+val bounds : t -> (float * float) array
+(** Per-bin [lo, hi) ranges (the last bin is closed). *)
+
+val render : ?width:int -> ?label:(float -> string) -> t -> string
+(** Horizontal bars scaled to [width] (default 50) characters, one line
+    per bin: [label lo .. label hi | ####### count]. [label] defaults to
+    [Printf.sprintf "%.0f"]. *)
+
+val render_with_markers : ?width:int -> markers:(string * float) list -> t -> string
+(** Like {!render}, appending named markers (e.g. [("T_fast", 300.)]) to
+    the bins containing them — how thresholds sit inside a distribution. *)

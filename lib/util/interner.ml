@@ -1,0 +1,39 @@
+type t = {
+  by_name : (string, int) Hashtbl.t;
+  mutable by_id : string array;
+  mutable next : int;
+}
+
+let create ?(capacity = 256) () =
+  { by_name = Hashtbl.create capacity; by_id = Array.make capacity ""; next = 0 }
+
+let grow t =
+  let cap = Array.length t.by_id in
+  let fresh = Array.make (2 * cap) "" in
+  Array.blit t.by_id 0 fresh 0 cap;
+  t.by_id <- fresh
+
+let intern t s =
+  match Hashtbl.find_opt t.by_name s with
+  | Some id -> id
+  | None ->
+    let id = t.next in
+    if id = Array.length t.by_id then grow t;
+    t.by_id.(id) <- s;
+    Hashtbl.add t.by_name s id;
+    t.next <- id + 1;
+    id
+
+let find_opt t s = Hashtbl.find_opt t.by_name s
+
+let name t id =
+  if id < 0 || id >= t.next then
+    invalid_arg (Printf.sprintf "Interner.name: unknown id %d" id)
+  else t.by_id.(id)
+
+let size t = t.next
+
+let iter t f =
+  for id = 0 to t.next - 1 do
+    f id t.by_id.(id)
+  done

@@ -1,0 +1,27 @@
+(** String interning.
+
+    Function signatures appear millions of times across a corpus; interning
+    maps each distinct string to a dense non-negative id so that hot paths
+    (graph keys, signature sets, pattern hashing) work on ints. An interner
+    is an append-only bijection; ids are stable for its lifetime. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val intern : t -> string -> int
+(** [intern t s] returns the id of [s], allocating a fresh one on first
+    sight. *)
+
+val find_opt : t -> string -> int option
+(** Lookup without allocating an id. *)
+
+val name : t -> int -> string
+(** [name t id] is the string for [id].
+    @raise Invalid_argument on an id never produced by [t]. *)
+
+val size : t -> int
+(** Number of distinct interned strings. *)
+
+val iter : t -> (int -> string -> unit) -> unit
+(** Iterate ids in increasing order. *)

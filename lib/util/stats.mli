@@ -1,0 +1,46 @@
+(** Descriptive statistics over float samples.
+
+    Used by the evaluation layer for summarising distributions of scenario
+    durations, pattern costs and coverage curves. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 for an empty array. *)
+
+val stddev : float array -> float
+(** Population standard deviation; 0 for fewer than two samples. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for [p] in [\[0,100\]], linear interpolation between
+    order statistics. The input need not be sorted. 0 for an empty array. *)
+
+val median : float array -> float
+
+val sum : float array -> float
+
+val minimum : float array -> float
+(** 0 for an empty array. *)
+
+val maximum : float array -> float
+(** 0 for an empty array. *)
+
+val ratio : float -> float -> float
+(** [ratio a b] is [a /. b], or 0 when [b = 0]; total division for report
+    code where an empty denominator means "no data", not an error. *)
+
+val pct : float -> float -> float
+(** [pct part whole] is [100 *. ratio part whole]. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max : float;
+}
+
+val summarize : float array -> summary
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,24 @@
+(** Plain-text table rendering for reports and benches.
+
+    Every table in the paper's evaluation is re-emitted through this module
+    so that the bench output reads like the paper's tables. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?title:string -> (string * align) list -> t
+(** [create ~title columns] starts a table with the given header cells. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; the row must have exactly as many cells as the header.
+    @raise Invalid_argument otherwise. *)
+
+val add_separator : t -> unit
+(** Append a horizontal rule (used before summary rows). *)
+
+val render : t -> string
+(** Render with column widths fitted to content. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)

@@ -1,0 +1,294 @@
+module P = Dpsim.Program
+module T = Taxonomy
+module Time = Dputil.Time
+module Prng = Dputil.Prng
+
+type ctx = { env : Env.t; prng : Dputil.Prng.t }
+
+let kernel_hard_fault = Dptrace.Signature.of_string "kernel!HardFault"
+
+let ms_in ctx lo hi = Time.of_ms_float (lo +. Prng.float ctx.prng (hi -. lo))
+
+(* Mostly the canonical routine, sometimes a sibling entry point of the
+   same driver: spreads aggregated behaviour over a realistic signature
+   space (real traces show many routines per driver). *)
+let vary ctx canonical variants =
+  if Prng.chance ctx.prng 0.7 then canonical else Prng.choose ctx.prng variants
+
+let service_ms ctx ~median =
+  Time.of_ms_float (Prng.lognormal ctx.prng ~median ~sigma:0.8)
+
+(* --- Fast paths --- *)
+
+let cached_file_open ctx =
+  [
+    P.call T.fv_query_file_table
+      [ P.locked ctx.env.Env.file_table [ P.compute (ms_in ctx 0.5 3.0) ] ];
+  ]
+
+let cache_lookup ctx =
+  let fill =
+    if Prng.chance ctx.prng 0.2 then
+      [
+        P.call T.ioc_cache_fill
+          [ P.call T.fs_read [ P.hw ctx.env.Env.disk (service_ms ctx ~median:4.0) ] ];
+      ]
+    else []
+  in
+  [
+    P.call T.ioc_cache_lookup
+      [ P.locked ctx.env.Env.cache (P.compute (ms_in ctx 0.2 1.5) :: fill) ];
+  ]
+
+let mouse_input ctx =
+  (* Input processing blocks on the HID report stream via a worker — a
+     small but real propagation chain (Table 4 lists Mouse once). *)
+  [
+    P.call T.mou_process_input
+      [
+        P.request ctx.env.Env.sys_worker
+          [
+            P.call (Dptrace.Signature.of_string "mou.sys!ReadReports")
+              [ P.hw ctx.env.Env.input (ms_in ctx 2.0 9.0) ];
+          ];
+        P.compute (ms_in ctx 0.1 1.2);
+      ];
+  ]
+
+let policy_check ctx = [ P.call T.av_check_policy [ P.compute (ms_in ctx 0.5 2.0) ] ]
+
+(* --- I/O --- *)
+
+let disk_read ctx ~dur =
+  [
+    P.call (vary ctx T.fs_read [| T.fs_read_ahead; T.fs_query_metadata |])
+      [
+        P.request ctx.env.Env.sys_worker
+          [
+            P.call (vary ctx T.stor_read_block [| T.stor_queue_request |])
+              [ P.hw ctx.env.Env.disk dur ];
+          ];
+      ];
+  ]
+
+let encrypted_disk_read ctx ~dur =
+  let decrypt_cpu = max (Time.ms 1) (dur / 8) in
+  [
+    P.call (vary ctx T.fs_read [| T.fs_read_ahead |])
+      [
+        P.request ctx.env.Env.sys_worker
+          [
+            P.call (vary ctx T.se_read_decrypt [| T.se_worker |])
+              [
+                P.hw ctx.env.Env.disk dur;
+                P.compute
+                  ~frame:(vary ctx T.se_decrypt [| T.se_stream_cipher |])
+                  decrypt_cpu;
+              ];
+          ];
+      ];
+  ]
+
+let mdu_read ctx ~dur ~encrypted =
+  let read = if encrypted then encrypted_disk_read ctx ~dur else disk_read ctx ~dur in
+  [
+    P.call T.fs_acquire_mdu
+      [ P.locked ctx.env.Env.mdu (P.compute (ms_in ctx 0.3 1.5) :: read) ];
+  ]
+
+let encrypted_disk_write ctx ~dur =
+  let encrypt_cpu = max (Time.ms 1) (dur / 8) in
+  [
+    P.call T.fs_write
+      [
+        P.request ctx.env.Env.sys_worker
+          [
+            P.call T.se_write_encrypt
+              [
+                P.compute ~frame:T.se_decrypt encrypt_cpu;
+                P.hw ctx.env.Env.disk dur;
+              ];
+          ];
+      ];
+  ]
+
+let mdu_write ctx ~dur ~encrypted =
+  let write =
+    if encrypted then encrypted_disk_write ctx ~dur
+    else
+      [
+        P.call T.fs_write
+          [
+            P.request ctx.env.Env.sys_worker
+              [ P.call T.stor_write_block [ P.hw ctx.env.Env.disk dur ] ];
+          ];
+      ]
+  in
+  [
+    P.call T.fs_acquire_mdu
+      [ P.locked ctx.env.Env.mdu (P.compute (ms_in ctx 0.3 1.5) :: write) ];
+  ]
+
+let net_fetch ctx ~dur =
+  [
+    P.call T.net_send_request
+      [ P.call T.tcpip_transmit [ P.hw ctx.env.Env.net dur ] ];
+  ]
+
+let net_fetch_served ctx ~dur =
+  (* The fetch runs on a kernel worker; the requester's network wait sees
+     the worker's device wait and protocol CPU — propagated network cost
+     that survives the AWG non-optimisable reduction, unlike the direct
+     [net_fetch]. *)
+  [
+    P.call (vary ctx T.net_send_request [| T.net_submit_io |])
+      [
+        P.request ctx.env.Env.sys_worker
+          [
+            P.call (vary ctx T.tcpip_transmit [| T.tcpip_receive |])
+              [
+                P.hw ctx.env.Env.net dur;
+                P.compute ~frame:T.net_receive_data (ms_in ctx 0.5 3.0);
+              ];
+          ];
+      ];
+  ]
+
+let net_fetch_shared ctx ~dur =
+  (* Serialise through the shared network-I/O queue: the queue wait carries
+     app frames, so pending fetches observe (and are charged with) the
+     in-flight request's driver waits. *)
+  [
+    P.locked
+      ~acquire_frames:[ Dptrace.Signature.of_string "App!AwaitResponse" ]
+      ctx.env.Env.net_io
+      (net_fetch_served ctx ~dur);
+  ]
+
+let dns_resolve ctx =
+  [
+    P.call T.net_resolve_name
+      [ P.hw ctx.env.Env.net (service_ms ctx ~median:4.0) ];
+  ]
+
+(* --- Heavy propagation --- *)
+
+let file_table_chain ctx ~inner =
+  [
+    P.call (vary ctx T.fv_query_file_table [| T.fv_virtualize_path; T.fv_check_redirect |])
+      [
+        P.locked ctx.env.Env.file_table (P.compute (ms_in ctx 0.5 2.0) :: inner);
+      ];
+  ]
+
+let av_inspection ctx ~dur =
+  [
+    P.call (vary ctx T.av_scan_file [| T.av_scan_archive; T.av_update_db |])
+      [
+        P.locked ctx.env.Env.av_db
+          (P.compute (ms_in ctx 1.0 4.0)
+          :: mdu_read ctx ~dur ~encrypted:(Prng.chance ctx.prng 0.5));
+      ];
+  ]
+
+let gpu_render ctx ~dur =
+  [
+    P.call T.gfx_acquire_gpu
+      [
+        P.locked ctx.env.Env.gpu_res
+          [ P.compute ~frame:T.gfx_render (ms_in ctx 1.0 4.0); P.hw ctx.env.Env.gpu dur ];
+      ];
+  ]
+
+let hard_fault_page_read ctx ~dur =
+  let decrypt_cpu = max (Time.ms 2) (dur / 10) in
+  [
+    P.call T.gfx_init_struct
+      [
+        P.request ~wait_frames:[ kernel_hard_fault ] ctx.env.Env.sys_worker
+          [
+            P.call T.se_read_decrypt
+              [
+                P.hw ctx.env.Env.disk dur;
+                P.compute ~frame:T.se_decrypt decrypt_cpu;
+              ];
+          ];
+      ];
+  ]
+
+let disk_protection_halt ctx ~dur =
+  [
+    P.call T.dp_check_motion
+      [ P.locked ctx.env.Env.dp_gate [ P.compute (Time.ms 1); P.idle dur ] ];
+  ]
+
+let guarded_disk_read ctx ~dur =
+  [
+    P.call T.dp_halt_io
+      [ P.locked ctx.env.Env.dp_gate (disk_read ctx ~dur) ];
+  ]
+
+let backup_copy_on_write ctx ~dur =
+  [
+    P.call T.bk_copy_on_write
+      [
+        P.locked ctx.env.Env.backup
+          [
+            P.compute ~frame:T.bk_snapshot_region (ms_in ctx 1.0 3.0);
+            P.call T.fs_write [ P.hw ctx.env.Env.disk dur ];
+          ];
+      ];
+  ]
+
+let av_serialized ctx ~dur =
+  (* The whole inspection behind the application-level singleton queue:
+     waits on [av_queue] carry only app frames (the av.sys frames start
+     inside the lock body), so the impact analysis descends into the
+     current holder's driver waits — the same stuck inspection is counted
+     from every queued instance. A fraction of requests race straight to
+     the inspection database instead (driver-level contention on av_db
+     whose stacked waits can exceed T_slow — the Figure 1 regime). *)
+  if Prng.chance ctx.prng 0.3 then
+    [ P.call T.av_intercept_open (av_inspection ctx ~dur) ]
+  else
+    [
+      P.locked
+        ~acquire_frames:[ Dptrace.Signature.of_string "AvSvc!QueueRequest" ]
+        ctx.env.Env.av_queue
+        [ P.call T.av_intercept_open (av_inspection ctx ~dur) ];
+    ]
+
+let app_serialized ctx steps =
+  (* Funnel [steps] through the application's main loop: the queue wait
+     carries app frames only, so impact analysis descends into the current
+     holder's driver waits and counts them for every queued instance. *)
+  [
+    P.locked
+      ~acquire_frames:[ Dptrace.Signature.of_string "App!PostToMainLoop" ]
+      ctx.env.Env.app_main steps;
+  ]
+
+let direct_disk_read ctx ~dur =
+  (* Initiating thread blocks straight on the device: a root waiting node
+     over a single hardware leaf, pruned by the AWG reduction
+     (non-optimisable portion). *)
+  [ P.call T.fs_read [ P.hw ctx.env.Env.disk dur ] ]
+
+let direct_gpu_wait ctx ~dur =
+  [ P.call T.gfx_render [ P.hw ctx.env.Env.gpu dur ] ]
+
+let acpi_transition ctx =
+  (* A power transition flushes firmware tables through the kernel worker
+     and storage — slow and driver-visible (Table 4 lists ACPI once). *)
+  [
+    P.call T.acpi_power_transition
+      [
+        P.compute (ms_in ctx 0.5 2.0);
+        P.request ctx.env.Env.sys_worker
+          [
+            P.call (Dptrace.Signature.of_string "acpi.sys!FlushTables")
+              [ P.hw ctx.env.Env.disk (ms_in ctx 40.0 160.0) ];
+          ];
+        P.idle (ms_in ctx 5.0 30.0);
+      ];
+  ]

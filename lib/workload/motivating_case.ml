@@ -1,0 +1,237 @@
+module P = Dpsim.Program
+module T = Taxonomy
+module Time = Dputil.Time
+module Signature = Dptrace.Signature
+module Engine = Dpsim.Engine
+
+type t = {
+  stream : Dptrace.Stream.t;
+  browser_instance : Dptrace.Scenario.instance;
+  ui_tid : int;
+  specs : Dptrace.Scenario.spec list;
+}
+
+let kernel_open_file = Signature.of_string "kernel!OpenFile"
+let kernel_create_file = Signature.of_string "kernel!CreateFile"
+
+let browser_spec =
+  Dptrace.Scenario.spec ~name:"BrowserTabCreate" ~tfast:(Time.ms 300)
+    ~tslow:(Time.ms 500)
+
+let av_spec =
+  Dptrace.Scenario.spec ~name:"AvScheduledScan" ~tfast:(Time.ms 500)
+    ~tslow:(Time.ms 1500)
+
+let cfg_spec =
+  Dptrace.Scenario.spec ~name:"CfgRefresh" ~tfast:(Time.ms 200)
+    ~tslow:(Time.ms 600)
+
+let specs = [ browser_spec; av_spec; cfg_spec ]
+
+(* fs.sys read served by a system worker running se.sys over the disk:
+   the deepest links of Figure 1 — (1) propagates disk time and decryption
+   CPU back through the system-service call. *)
+let encrypted_read env ~disk_ms ~decrypt_ms =
+  [
+    P.call T.fs_read
+      [
+        P.request env.Env.sys_worker
+          [
+            P.call T.se_read_decrypt
+              [
+                P.hw env.Env.disk (Time.ms disk_ms);
+                P.compute ~frame:T.se_decrypt (Time.ms decrypt_ms);
+              ];
+          ];
+      ];
+  ]
+
+let mdu_encrypted_read env ~disk_ms ~decrypt_ms =
+  [
+    P.call T.fs_acquire_mdu
+      [
+        P.locked env.Env.mdu
+          (P.compute (Time.ms 2) :: encrypted_read env ~disk_ms ~decrypt_ms);
+      ];
+  ]
+
+(* [scale] stretches every duration; [base] shifts every start time. *)
+let spawn_case engine env ~base ~scale ~mark =
+  let ms x = Time.ms (int_of_float (scale *. float_of_int x)) in
+  let at x = base + Time.ms x in
+  let scaled_read ~disk_ms ~decrypt_ms =
+    mdu_encrypted_read env
+      ~disk_ms:(int_of_float (scale *. float_of_int disk_ms))
+      ~decrypt_ms:(int_of_float (scale *. float_of_int decrypt_ms))
+  in
+  (* T_C,W0 — Configuration Manager worker: first to take the MDU lock;
+     its read keeps the system worker T_S,W0 busy for hundreds of ms. *)
+  let _cm =
+    Engine.spawn engine
+      ?scenario:(if mark then Some cfg_spec.Dptrace.Scenario.name else None)
+      ~start_at:(at 0) ~name:"CM.Worker"
+      ~base_stack:[ Signature.of_string "ConfigMgr!Worker" ]
+      [
+        P.call kernel_open_file
+          (P.compute (ms 2) :: scaled_read ~disk_ms:450 ~decrypt_ms:60);
+      ]
+  in
+  (* T_A,W0 — AntiVirus worker: second in the MDU queue. *)
+  let _av =
+    Engine.spawn engine
+      ?scenario:(if mark then Some av_spec.Dptrace.Scenario.name else None)
+      ~start_at:(at 5) ~name:"AV.Worker"
+      ~base_stack:[ Signature.of_string "AntiVirus!Worker" ]
+      [
+        P.call kernel_open_file
+          (P.compute (ms 2) :: scaled_read ~disk_ms:170 ~decrypt_ms:30);
+      ]
+  in
+  (* T_B,W1 — browser worker 1: first to take the File Table lock, then
+     joins the MDU contention (dependency (4): fv.sys → fs.sys). *)
+  let _w1 =
+    Engine.spawn engine ~start_at:(at 10) ~name:"Browser.W1"
+      ~base_stack:[ Signature.of_string "Browser!Worker" ]
+      [
+        P.call kernel_create_file
+          [
+            P.call T.fv_query_file_table
+              [
+                P.locked env.Env.file_table
+                  (P.compute (ms 3) :: scaled_read ~disk_ms:120 ~decrypt_ms:25);
+              ];
+          ];
+      ]
+  in
+  (* T_B,W0 — browser worker 0: second in the File Table queue. *)
+  let _w0 =
+    Engine.spawn engine ~start_at:(at 15) ~name:"Browser.W0"
+      ~base_stack:[ Signature.of_string "Browser!Worker" ]
+      [
+        P.call kernel_create_file
+          [
+            P.call T.fv_query_file_table
+              [ P.locked env.Env.file_table [ P.compute (ms 4) ] ];
+          ];
+      ]
+  in
+  (* T_B,UI — the initiating thread of BrowserTabCreate; last in the File
+     Table queue, end of the propagation path (links (5) and (6)). *)
+  Engine.spawn engine
+    ?scenario:(if mark then Some browser_spec.Dptrace.Scenario.name else None)
+    ~start_at:(at 20) ~name:"Browser.UI"
+    ~base_stack:[ Signature.of_string "Browser!TabCreate" ]
+    [
+      P.compute (ms 10);
+      P.call kernel_open_file
+        [
+          P.call T.fv_query_file_table
+            [ P.locked env.Env.file_table [ P.compute (ms 3) ] ];
+        ];
+      P.compute (ms 30);
+    ]
+
+let build_stream ~stream_id ~scale ~contended =
+  let engine = Engine.create ~stream_id () in
+  let env = Env.create engine in
+  let ui_tid =
+    if contended then spawn_case engine env ~base:0 ~scale ~mark:true
+    else begin
+      (* Fast-class replica: the same six threads, spread out in time so no
+         contention arises; the UI instance completes in tens of ms. *)
+      let sep = Time.sec 2 in
+      let _cm_av_w =
+        spawn_case engine env ~base:(3 * sep) ~scale ~mark:false
+      in
+      ignore _cm_av_w;
+      (* Re-spawn just the UI thread early with a free File Table. *)
+      Engine.spawn engine ~scenario:browser_spec.Dptrace.Scenario.name
+        ~start_at:0 ~name:"Browser.UI.fast"
+        ~base_stack:[ Signature.of_string "Browser!TabCreate" ]
+        [
+          P.compute (Time.ms 10);
+          P.call kernel_open_file
+            [
+              P.call T.fv_query_file_table
+                [ P.locked env.Env.file_table [ P.compute (Time.ms 3) ] ];
+            ];
+          P.compute (Time.ms 30);
+        ]
+    end
+  in
+  let stream = Engine.run engine in
+  (stream, ui_tid)
+
+let build () =
+  let stream, ui_tid = build_stream ~stream_id:0 ~scale:1.0 ~contended:true in
+  let browser_instance =
+    List.find
+      (fun (i : Dptrace.Scenario.instance) ->
+        i.scenario = browser_spec.Dptrace.Scenario.name)
+      stream.Dptrace.Stream.instances
+  in
+  { stream; browser_instance; ui_tid; specs }
+
+let corpus ?(copies = 24) () =
+  let streams = ref [] in
+  for id = 0 to copies - 1 do
+    (* Deterministic jitter: durations vary ±15 % with the stream id. *)
+    let scale = 0.85 +. (0.05 *. float_of_int (id mod 7)) in
+    let slow, _ = build_stream ~stream_id:(2 * id) ~scale ~contended:true in
+    let fast, _ =
+      build_stream ~stream_id:(2 * id + 1) ~scale ~contended:false
+    in
+    streams := fast :: slow :: !streams
+  done;
+  Dptrace.Corpus.create ~streams:(List.rev !streams) ~specs
+
+let expected_pattern_signatures =
+  [
+    "fv.sys!QueryFileTable";
+    "fs.sys!AcquireMDU";
+    "se.sys!ReadDecrypt";
+    "DiskService";
+  ]
+
+let describe t =
+  let buf = Buffer.create 2048 in
+  let stream = t.stream in
+  Buffer.add_string buf
+    (Format.asprintf
+       "Motivating case (Figure 1): BrowserTabCreate took %a (T_slow = %a)\n"
+       Time.pp
+       (Dptrace.Scenario.duration t.browser_instance)
+       Time.pp browser_spec.Dptrace.Scenario.tslow);
+  Buffer.add_string buf
+    "Threads and their topmost recorded operations:\n";
+  List.iter
+    (fun (tid, name) ->
+      let idx = Dptrace.Stream.index stream in
+      let events = Dptrace.Stream.events_of_thread idx tid in
+      if Array.length events > 0 then begin
+        Buffer.add_string buf (Printf.sprintf "  %-14s" name);
+        let waits =
+          Array.to_list events |> List.filter Dptrace.Event.is_wait
+        in
+        (match waits with
+        | [] -> Buffer.add_string buf "runs without blocking"
+        | w :: _ ->
+          Buffer.add_string buf
+            (Format.asprintf "blocked %a in %s" Time.pp w.Dptrace.Event.cost
+               (match Dptrace.Callstack.top w.Dptrace.Event.stack with
+               | Some s -> Signature.name s
+               | None -> "<unknown>")));
+        Buffer.add_char buf '\n'
+      end)
+    stream.Dptrace.Stream.threads;
+  let wg = Dpwaitgraph.Wait_graph.build stream t.browser_instance in
+  Buffer.add_string buf
+    (Format.asprintf
+       "Propagation: the UI thread's wait graph has %d nodes, depth %d,\n\
+        accumulating %a of transitive waiting below a single tab-create \
+        click.\n"
+       (Dpwaitgraph.Wait_graph.node_count wg)
+       (Dpwaitgraph.Wait_graph.depth wg)
+       Time.pp
+       (Dpwaitgraph.Wait_graph.wait_time wg));
+  Buffer.contents buf

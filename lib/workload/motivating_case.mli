@@ -1,0 +1,43 @@
+(** Deterministic reconstruction of the paper's motivating example
+    (Section 2.2, Figure 1).
+
+    Six threads across four processes, two lock-contention regions and two
+    hierarchical dependencies:
+
+    - browser UI thread [T_B,UI] and workers [T_B,W0]/[T_B,W1] contend the
+      fv.sys {e File Table} lock;
+    - [T_B,W1], the AntiVirus worker [T_A,W0] and the Configuration
+      Manager worker [T_C,W0] contend the fs.sys {e MDU} lock;
+    - the MDU holder reads from disk through se.sys on the system worker
+      [T_S,W0], which spends hundreds of milliseconds in disk service and
+      decryption CPU.
+
+    The delay initiated on [T_S,W0] propagates along links (1)–(6) of
+    Figure 1 into the UI thread; the BrowserTabCreate instance takes over
+    800 ms, exceeding its 500 ms [T_slow]. *)
+
+type t = {
+  stream : Dptrace.Stream.t;
+  browser_instance : Dptrace.Scenario.instance;  (** The >800 ms victim. *)
+  ui_tid : int;
+  specs : Dptrace.Scenario.spec list;  (** BrowserTabCreate + background. *)
+}
+
+val build : unit -> t
+(** Deterministic: no PRNG involved. *)
+
+val corpus : ?copies:int -> unit -> Dptrace.Corpus.t
+(** A corpus of [copies] (default 24) jittered replicas of the case plus
+    matching fast-class streams (same scenario, no contention), enough for
+    the causality analysis to aggregate and mine — used by Figure 2 and
+    the examples. The jitter is deterministic in the stream id. *)
+
+val expected_pattern_signatures : string list
+(** The signature names the paper's mined pattern exhibits —
+    [fv.sys!QueryFileTable], [fs.sys!AcquireMDU], [se.sys!ReadDecrypt],
+    [DiskService] — used by tests and the bench to assert that mining
+    rediscovers the injected problem. *)
+
+val describe : t -> string
+(** A human-readable account of the six threads and the propagation
+    links, rendered from the actual trace (the examples print this). *)

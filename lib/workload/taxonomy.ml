@@ -1,0 +1,122 @@
+module Signature = Dptrace.Signature
+
+type driver_type =
+  | File_system
+  | Fs_filter
+  | Network
+  | Storage_encryption
+  | Disk_protection
+  | Graphics
+  | Storage_backup
+  | Io_cache
+  | Mouse
+  | Acpi
+
+let all_types =
+  [
+    File_system;
+    Fs_filter;
+    Network;
+    Storage_encryption;
+    Disk_protection;
+    Graphics;
+    Storage_backup;
+    Io_cache;
+    Mouse;
+    Acpi;
+  ]
+
+let type_name = function
+  | File_system -> "FileSystem/Storage"
+  | Fs_filter -> "FileSystem Filter"
+  | Network -> "Network"
+  | Storage_encryption -> "Storage Encryption"
+  | Disk_protection -> "Disk Protection"
+  | Graphics -> "Graphics"
+  | Storage_backup -> "Storage Backup"
+  | Io_cache -> "IO Cache"
+  | Mouse -> "Mouse"
+  | Acpi -> "ACPI"
+
+let modules =
+  [
+    ("fs.sys", File_system);
+    ("stor.sys", File_system);
+    ("fv.sys", Fs_filter);
+    ("av.sys", Fs_filter);
+    ("net.sys", Network);
+    ("tcpip.sys", Network);
+    ("se.sys", Storage_encryption);
+    ("dp.sys", Disk_protection);
+    ("graphics.sys", Graphics);
+    ("bk.sys", Storage_backup);
+    ("ioc.sys", Io_cache);
+    ("mou.sys", Mouse);
+    ("acpi.sys", Acpi);
+  ]
+
+let type_of_module m = List.assoc_opt (String.lowercase_ascii m) modules
+
+let type_of_signature s = type_of_module (Signature.module_part s)
+
+let type_name_of_signature s = Option.map type_name (type_of_signature s)
+
+let sig_ = Signature.of_string
+
+let stor_read_block = sig_ "stor.sys!ReadBlock"
+let stor_write_block = sig_ "stor.sys!WriteBlock"
+
+let fs_read = sig_ "fs.sys!Read"
+let fs_write = sig_ "fs.sys!Write"
+let fs_acquire_mdu = sig_ "fs.sys!AcquireMDU"
+let fs_query_metadata = sig_ "fs.sys!QueryMetadata"
+
+let fv_query_file_table = sig_ "fv.sys!QueryFileTable"
+let fv_intercept_create = sig_ "fv.sys!InterceptCreate"
+let fv_virtualize_path = sig_ "fv.sys!VirtualizePath"
+
+let av_scan_file = sig_ "av.sys!ScanFile"
+let av_intercept_open = sig_ "av.sys!InterceptOpen"
+let av_check_policy = sig_ "av.sys!CheckPolicy"
+
+let net_send_request = sig_ "net.sys!SendRequest"
+let net_receive_data = sig_ "net.sys!ReceiveData"
+let net_resolve_name = sig_ "net.sys!ResolveName"
+let tcpip_transmit = sig_ "tcpip.sys!Transmit"
+
+let se_read_decrypt = sig_ "se.sys!ReadDecrypt"
+let se_write_encrypt = sig_ "se.sys!WriteEncrypt"
+let se_decrypt = sig_ "se.sys!Decrypt"
+let se_worker = sig_ "se.sys!Worker"
+
+let dp_check_motion = sig_ "dp.sys!CheckMotion"
+let dp_halt_io = sig_ "dp.sys!HaltIo"
+
+let gfx_acquire_gpu = sig_ "graphics.sys!AcquireGpu"
+let gfx_render = sig_ "graphics.sys!Render"
+let gfx_init_struct = sig_ "graphics.sys!InitStruct"
+let gfx_worker_routine = sig_ "graphics.sys!WorkerRoutine"
+
+let bk_snapshot_region = sig_ "bk.sys!SnapshotRegion"
+let bk_copy_on_write = sig_ "bk.sys!CopyOnWrite"
+
+let ioc_cache_lookup = sig_ "ioc.sys!CacheLookup"
+let ioc_cache_fill = sig_ "ioc.sys!CacheFill"
+
+let mou_process_input = sig_ "mou.sys!ProcessInput"
+
+let acpi_power_transition = sig_ "acpi.sys!PowerTransition"
+
+let disk_service = Signature.hw_service "DiskService"
+let net_service = Signature.hw_service "NetService"
+let gpu_service = Signature.hw_service "GpuService"
+
+let fs_read_ahead = sig_ "fs.sys!ReadAhead"
+let fs_flush_buffers = sig_ "fs.sys!FlushBuffers"
+let fv_check_redirect = sig_ "fv.sys!CheckRedirect"
+let av_scan_archive = sig_ "av.sys!ScanArchive"
+let av_update_db = sig_ "av.sys!UpdateDb"
+let net_submit_io = sig_ "net.sys!SubmitIo"
+let tcpip_receive = sig_ "tcpip.sys!Receive"
+let se_stream_cipher = sig_ "se.sys!StreamCipher"
+let stor_queue_request = sig_ "stor.sys!QueueRequest"

@@ -1,0 +1,116 @@
+(** The simulated driver ecosystem: a catalogue of device drivers spanning
+    the ten driver types of Table 4, with realistic routine signatures.
+
+    Driver and routine names follow the paper's anonymised convention
+    ([fv.sys!QueryFileTable], [fs.sys!AcquireMDU], [se.sys!ReadDecrypt],
+    [graphics.sys], …); the rest of the catalogue extends the same style. *)
+
+type driver_type =
+  | File_system  (** "FileSystem, General Storage" *)
+  | Fs_filter  (** "FileSystem Filter" (security software, virtualization) *)
+  | Network
+  | Storage_encryption
+  | Disk_protection
+  | Graphics
+  | Storage_backup
+  | Io_cache
+  | Mouse
+  | Acpi
+
+val all_types : driver_type list
+(** In Table 4 column order. *)
+
+val type_name : driver_type -> string
+(** Table 4 column heading. *)
+
+val type_of_module : string -> driver_type option
+(** Classify a module name (e.g. ["fv.sys"]). *)
+
+val type_of_signature : Dptrace.Signature.t -> driver_type option
+(** Classify a signature by its module part; [None] for non-driver
+    signatures (kernel, applications, hardware dummies). *)
+
+val type_name_of_signature : Dptrace.Signature.t -> string option
+(** Composition of the two above — the classifier shape that
+    {!Dpcore.Evaluation.driver_type_counts} takes. *)
+
+(** {1 Routine signatures}
+
+    Interned once at module initialisation; grouped by driver. *)
+
+(* stor.sys — general storage *)
+val stor_read_block : Dptrace.Signature.t
+val stor_write_block : Dptrace.Signature.t
+
+(* fs.sys — file system *)
+val fs_read : Dptrace.Signature.t
+val fs_write : Dptrace.Signature.t
+val fs_acquire_mdu : Dptrace.Signature.t
+val fs_query_metadata : Dptrace.Signature.t
+
+(* fv.sys — file-virtualization filter *)
+val fv_query_file_table : Dptrace.Signature.t
+val fv_intercept_create : Dptrace.Signature.t
+val fv_virtualize_path : Dptrace.Signature.t
+
+(* av.sys — antivirus filter *)
+val av_scan_file : Dptrace.Signature.t
+val av_intercept_open : Dptrace.Signature.t
+val av_check_policy : Dptrace.Signature.t
+
+(* net.sys / tcpip.sys — network *)
+val net_send_request : Dptrace.Signature.t
+val net_receive_data : Dptrace.Signature.t
+val net_resolve_name : Dptrace.Signature.t
+val tcpip_transmit : Dptrace.Signature.t
+
+(* se.sys — storage encryption *)
+val se_read_decrypt : Dptrace.Signature.t
+val se_write_encrypt : Dptrace.Signature.t
+val se_decrypt : Dptrace.Signature.t
+val se_worker : Dptrace.Signature.t
+
+(* dp.sys — disk protection *)
+val dp_check_motion : Dptrace.Signature.t
+val dp_halt_io : Dptrace.Signature.t
+
+(* graphics.sys *)
+val gfx_acquire_gpu : Dptrace.Signature.t
+val gfx_render : Dptrace.Signature.t
+val gfx_init_struct : Dptrace.Signature.t
+val gfx_worker_routine : Dptrace.Signature.t
+
+(* bk.sys — storage backup *)
+val bk_snapshot_region : Dptrace.Signature.t
+val bk_copy_on_write : Dptrace.Signature.t
+
+(* ioc.sys — IO cache *)
+val ioc_cache_lookup : Dptrace.Signature.t
+val ioc_cache_fill : Dptrace.Signature.t
+
+(* mou.sys — mouse *)
+val mou_process_input : Dptrace.Signature.t
+
+(* acpi.sys *)
+val acpi_power_transition : Dptrace.Signature.t
+
+(* Hardware-service dummy signatures (Definition 3). *)
+val disk_service : Dptrace.Signature.t
+val net_service : Dptrace.Signature.t
+val gpu_service : Dptrace.Signature.t
+
+(** {1 Routine variants}
+
+    Secondary entry points of the same drivers; workload motifs draw from
+    these so aggregated behaviours spread over a realistic signature
+    space, as in real traces where many distinct routines appear. *)
+
+val fs_read_ahead : Dptrace.Signature.t
+val fs_flush_buffers : Dptrace.Signature.t
+val fv_check_redirect : Dptrace.Signature.t
+val av_scan_archive : Dptrace.Signature.t
+val av_update_db : Dptrace.Signature.t
+val net_submit_io : Dptrace.Signature.t
+val tcpip_receive : Dptrace.Signature.t
+val se_stream_cipher : Dptrace.Signature.t
+val stor_queue_request : Dptrace.Signature.t

@@ -1,0 +1,254 @@
+(* Tests for the Aggregated Wait Graph (Definitions 2-3, Algorithm 1). *)
+
+module P = Dpsim.Program
+module Engine = Dpsim.Engine
+module Time = Dputil.Time
+module Awg = Dpcore.Awg
+module WG = Dpwaitgraph.Wait_graph
+
+let check = Alcotest.check
+let sig_ = Dptrace.Signature.of_string
+let drivers = Dpcore.Component.drivers
+
+(* One contention episode: victim (instance) blocks on a driver lock whose
+   holder performs a served disk read. *)
+let episode ~stream_id ~hold_ms =
+  let engine = Engine.create ~stream_id () in
+  let lock = Engine.new_lock engine ~name:"L" in
+  let disk = Engine.new_device engine ~name:"D" ~signature:(sig_ "DiskService") in
+  let svc = Engine.new_service engine ~name:"W" ~worker_stack:[ P.kernel_worker ] in
+  let _holder =
+    Engine.spawn engine ~start_at:0 ~name:"h" ~base_stack:[ sig_ "bg!w" ]
+      [
+        P.call (sig_ "d.sys!Route")
+          [
+            P.locked lock
+              [
+                P.request svc
+                  [ P.call (sig_ "e.sys!Read") [ P.hw disk (Time.ms hold_ms) ] ];
+              ];
+          ];
+      ]
+  in
+  let _victim =
+    Engine.spawn engine ~scenario:"S" ~start_at:(Time.ms 1) ~name:"v"
+      ~base_stack:[ sig_ "app!op" ]
+      [ P.call (sig_ "d.sys!Route") [ P.locked lock [ P.compute (Time.ms 1) ] ] ]
+  in
+  Engine.run engine
+
+let graphs_of st =
+  let index = Dptrace.Stream.index st in
+  List.map (WG.build ~index st) st.Dptrace.Stream.instances
+
+let waiting_root awg =
+  List.find
+    (fun n -> match n.Awg.status with Awg.Waiting _ -> true | _ -> false)
+    (Awg.roots awg)
+
+let test_structure_and_signatures () =
+  let awg = Awg.build drivers (graphs_of (episode ~stream_id:0 ~hold_ms:30)) in
+  (* Roots: the victim's driver wait plus its own driver compute. *)
+  check Alcotest.int "two roots" 2 (List.length (Awg.roots awg));
+  let root = waiting_root awg in
+  (match root.Awg.status with
+  | Awg.Waiting { wait_sig; unwait_sig } ->
+    check Alcotest.string "wait sig" "d.sys!Route" (Dptrace.Signature.name wait_sig);
+    check Alcotest.string "unwait sig" "d.sys!Route"
+      (Dptrace.Signature.name unwait_sig)
+  | _ -> Alcotest.fail "expected a waiting root");
+  check Alcotest.int "root count" 1 root.Awg.count;
+  (* Child: the holder's wait on its worker (d.sys!Route → kernel). *)
+  check Alcotest.bool "has children" true (Hashtbl.length root.Awg.children > 0)
+
+let test_merging_accumulates () =
+  let g1 = graphs_of (episode ~stream_id:0 ~hold_ms:30) in
+  let g2 = graphs_of (episode ~stream_id:1 ~hold_ms:50) in
+  let awg = Awg.build drivers (g1 @ g2) in
+  check Alcotest.int "merged roots" 2 (List.length (Awg.roots awg));
+  let root = waiting_root awg in
+  check Alcotest.int "N accumulates" 2 root.Awg.count;
+  check Alcotest.bool "C sums" true (root.Awg.cost > Time.ms 70);
+  check Alcotest.bool "max_cost tracks biggest" true
+    (root.Awg.max_cost >= Time.ms 49 && root.Awg.max_cost < Time.ms 52)
+
+let test_irrelevant_nodes_promoted () =
+  (* Victim waits with app-only frames: its wait node must be eliminated
+     and the holder's driver activity promoted to the roots. *)
+  let engine = Engine.create ~stream_id:0 () in
+  let q = Engine.new_lock engine ~name:"Q" in
+  let _holder =
+    Engine.spawn engine ~start_at:0 ~name:"h" ~base_stack:[ sig_ "bg!w" ]
+      [
+        P.locked
+          ~acquire_frames:[ sig_ "App!Queue" ]
+          q
+          [ P.compute ~frame:(sig_ "d.sys!Busy") (Time.ms 10) ];
+      ]
+  in
+  let _victim =
+    Engine.spawn engine ~scenario:"S" ~start_at:(Time.ms 1) ~name:"v"
+      ~base_stack:[ sig_ "app!op" ]
+      [ P.locked ~acquire_frames:[ sig_ "App!Queue" ] q [ P.compute (Time.ms 1) ] ]
+  in
+  let st = Engine.run engine in
+  let awg = Awg.build drivers (graphs_of st) in
+  match Awg.roots awg with
+  | [ root ] ->
+    (match root.Awg.status with
+    | Awg.Running s ->
+      check Alcotest.string "promoted driver running" "d.sys!Busy"
+        (Dptrace.Signature.name s)
+    | _ -> Alcotest.fail "expected a running root after promotion")
+  | roots -> Alcotest.failf "expected 1 root, got %d" (List.length roots)
+
+let direct_hw_episode () =
+  let engine = Engine.create ~stream_id:0 () in
+  let disk = Engine.new_device engine ~name:"D" ~signature:(sig_ "DiskService") in
+  let _victim =
+    Engine.spawn engine ~scenario:"S" ~start_at:0 ~name:"v"
+      ~base_stack:[ sig_ "app!op" ]
+      [ P.call (sig_ "d.sys!Read") [ P.hw disk (Time.ms 25) ] ]
+  in
+  Engine.run engine
+
+let test_reduction_prunes_direct_hw () =
+  let graphs = graphs_of (direct_hw_episode ()) in
+  let reduced = Awg.build ~reduce:true drivers graphs in
+  check Alcotest.int "pruned away" 0 (List.length (Awg.roots reduced));
+  let red = Awg.reduction reduced in
+  check Alcotest.int "one pruned root" 1 red.Awg.pruned_roots;
+  check Alcotest.int "pruned cost is the wait" (Time.ms 25) red.Awg.pruned_cost;
+  check (Alcotest.float 1e-9) "fully non-optimisable" 1.0
+    (Awg.non_optimizable_fraction reduced);
+  let unreduced = Awg.build ~reduce:false drivers graphs in
+  check Alcotest.int "kept without reduction" 1 (List.length (Awg.roots unreduced))
+
+let test_reduction_keeps_propagated () =
+  (* A wait with a hardware leaf AND a running child survives. *)
+  let engine = Engine.create ~stream_id:0 () in
+  let disk = Engine.new_device engine ~name:"D" ~signature:(sig_ "DiskService") in
+  let svc = Engine.new_service engine ~name:"W" ~worker_stack:[ P.kernel_worker ] in
+  let _victim =
+    Engine.spawn engine ~scenario:"S" ~start_at:0 ~name:"v"
+      ~base_stack:[ sig_ "app!op" ]
+      [
+        P.call (sig_ "d.sys!Read")
+          [
+            P.request svc
+              [
+                P.call (sig_ "e.sys!Srv")
+                  [ P.hw disk (Time.ms 10); P.compute ~frame:(sig_ "e.sys!Cpu") (Time.ms 5) ];
+              ];
+          ];
+      ]
+  in
+  let st = Engine.run engine in
+  let awg = Awg.build ~reduce:true drivers (graphs_of st) in
+  check Alcotest.bool "survives reduction" true (Awg.roots awg <> [])
+
+let test_segments_and_paths () =
+  let awg = Awg.build drivers (graphs_of (episode ~stream_id:0 ~hold_ms:30)) in
+  let n = Awg.node_count awg in
+  (* k=1 segments are exactly the nodes. *)
+  let k1 = ref 0 in
+  Awg.iter_segments awg ~k:1 ~f:(fun seg ->
+      check Alcotest.int "length 1" 1 (List.length seg);
+      incr k1);
+  check Alcotest.int "one segment per node" n !k1;
+  (* Larger k yields strictly more segments on a chain. *)
+  let k3 = ref 0 in
+  Awg.iter_segments awg ~k:3 ~f:(fun seg ->
+      check Alcotest.bool "bounded" true (List.length seg <= 3);
+      incr k3);
+  check Alcotest.bool "more segments with larger k" true (!k3 > !k1);
+  (* Full paths end at leaves. *)
+  List.iter
+    (fun path ->
+      let leaf = List.nth path (List.length path - 1) in
+      check Alcotest.int "leaf has no children" 0 (Hashtbl.length leaf.Awg.children))
+    (Awg.full_paths awg);
+  Alcotest.check_raises "k must be >= 1"
+    (Invalid_argument "Awg.iter_segments: k must be >= 1") (fun () ->
+      Awg.iter_segments awg ~k:0 ~f:(fun _ -> ()))
+
+let test_segment_count_formula () =
+  (* A linear chain of n nodes has sum_{i=1..n} min(k, n-i+1) downward
+     segments. Build one via nested service requests. *)
+  let engine = Engine.create ~stream_id:0 () in
+  let svc = Engine.new_service engine ~name:"W" ~worker_stack:[ P.kernel_worker ] in
+  let _v =
+    Engine.spawn engine ~scenario:"S" ~start_at:0 ~name:"v"
+      ~base_stack:[ sig_ "app!op" ]
+      [
+        P.call (sig_ "a.sys!L1")
+          [
+            P.request svc
+              [
+                P.call (sig_ "b.sys!L2")
+                  [
+                    P.request svc
+                      [ P.compute ~frame:(sig_ "c.sys!Leaf") (Time.ms 5) ];
+                  ];
+              ];
+          ];
+      ]
+  in
+  let st = Engine.run engine in
+  let awg = Awg.build ~reduce:false drivers (graphs_of st) in
+  (* Chain: Waiting(a.sys) -> Waiting(b.sys) -> Running(c.sys): n = 3. *)
+  check Alcotest.int "three nodes" 3 (Awg.node_count awg);
+  check Alcotest.int "one full path" 1 (List.length (Awg.full_paths awg));
+  let count k =
+    let n = ref 0 in
+    Awg.iter_segments awg ~k ~f:(fun _ -> incr n);
+    !n
+  in
+  check Alcotest.int "k=1: 3 segments" 3 (count 1);
+  check Alcotest.int "k=2: 3+2 segments" 5 (count 2);
+  check Alcotest.int "k=3: 3+2+1 segments" 6 (count 3);
+  check Alcotest.int "k=4 saturates" 6 (count 4)
+
+let test_costs_consistency () =
+  let awg = Awg.build drivers (graphs_of (episode ~stream_id:0 ~hold_ms:30)) in
+  check Alcotest.bool "leaf cost <= total cost" true
+    (Awg.total_leaf_cost awg <= Awg.total_cost awg);
+  check Alcotest.bool "positive" true (Awg.total_cost awg > 0)
+
+let test_empty_awg () =
+  let awg = Awg.build drivers [] in
+  check Alcotest.int "no nodes" 0 (Awg.node_count awg);
+  check (Alcotest.list Alcotest.string) "no paths" []
+    (List.map (fun _ -> "p") (Awg.full_paths awg));
+  check (Alcotest.float 1e-9) "fraction 0" 0.0 (Awg.non_optimizable_fraction awg)
+
+let test_render_smoke () =
+  let awg = Awg.build drivers (graphs_of (episode ~stream_id:0 ~hold_ms:30)) in
+  let s = Awg.render awg in
+  check Alcotest.bool "mentions d.sys" true
+    (String.length s > 0
+    &&
+    let rec contains i =
+      i + 5 <= String.length s && (String.sub s i 5 = "d.sys" || contains (i + 1))
+    in
+    contains 0)
+
+let () =
+  Alcotest.run "dpcore-awg"
+    [
+      ( "awg",
+        [
+          Alcotest.test_case "structure/signatures" `Quick test_structure_and_signatures;
+          Alcotest.test_case "merging accumulates" `Quick test_merging_accumulates;
+          Alcotest.test_case "irrelevant promoted" `Quick test_irrelevant_nodes_promoted;
+          Alcotest.test_case "reduction prunes direct hw" `Quick
+            test_reduction_prunes_direct_hw;
+          Alcotest.test_case "reduction keeps propagated" `Quick
+            test_reduction_keeps_propagated;
+          Alcotest.test_case "segments and paths" `Quick test_segments_and_paths;
+          Alcotest.test_case "segment count formula" `Quick test_segment_count_formula;
+          Alcotest.test_case "cost consistency" `Quick test_costs_consistency;
+          Alcotest.test_case "empty" `Quick test_empty_awg;
+          Alcotest.test_case "render smoke" `Quick test_render_smoke;
+        ] );
+    ]

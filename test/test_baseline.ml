@@ -1,0 +1,248 @@
+(* Tests for the Section 6 baselines: call-graph CPU profiling and
+   single-lock contention analysis. *)
+
+module P = Dpsim.Program
+module Engine = Dpsim.Engine
+module Time = Dputil.Time
+module Callgraph = Dpbaseline.Callgraph
+module Lock_profiler = Dpbaseline.Lock_profiler
+
+let check = Alcotest.check
+let sig_ = Dptrace.Signature.of_string
+
+let cpu_corpus () =
+  let engine = Engine.create ~stream_id:0 () in
+  let _t =
+    Engine.spawn engine ~scenario:"S" ~start_at:0 ~name:"t"
+      ~base_stack:[ sig_ "app!main" ]
+      [
+        P.compute (Time.ms 10);
+        P.call (sig_ "d.sys!F") [ P.compute (Time.ms 4) ];
+      ]
+  in
+  let st = Engine.run engine in
+  Dptrace.Corpus.create ~streams:[ st ]
+    ~specs:[ Dptrace.Scenario.spec ~name:"S" ~tfast:1 ~tslow:2 ]
+
+let test_callgraph_totals () =
+  let p = Callgraph.profile (cpu_corpus ()) in
+  check Alcotest.int "total cpu" (Time.ms 14) (Callgraph.total_cpu p);
+  let row name =
+    List.find
+      (fun (r : Callgraph.row) -> Dptrace.Signature.name r.signature = name)
+      (Callgraph.rows p)
+  in
+  let app = row "app!main" and drv = row "d.sys!F" in
+  (* app!main is on-stack for both events; topmost only for the first. *)
+  check Alcotest.int "app inclusive" (Time.ms 14) app.Callgraph.inclusive;
+  check Alcotest.int "app exclusive" (Time.ms 10) app.Callgraph.exclusive;
+  check Alcotest.int "driver inclusive" (Time.ms 4) drv.Callgraph.inclusive;
+  check Alcotest.int "driver exclusive" (Time.ms 4) drv.Callgraph.exclusive
+
+let test_callgraph_rows_sorted () =
+  let p = Callgraph.profile (cpu_corpus ()) in
+  let rec decreasing = function
+    | (a : Callgraph.row) :: (b :: _ as rest) ->
+      a.Callgraph.inclusive >= b.Callgraph.inclusive && decreasing rest
+    | _ -> true
+  in
+  check Alcotest.bool "sorted" true (decreasing (Callgraph.rows p));
+  check Alcotest.int "top n" 1 (List.length (Callgraph.top p ~n:1))
+
+let test_callgraph_driver_fraction () =
+  let p = Callgraph.profile (cpu_corpus ()) in
+  let f =
+    Callgraph.fraction_matching p (fun s ->
+        Dpcore.Component.matches_signature Dpcore.Component.drivers s)
+  in
+  check (Alcotest.float 1e-9) "4 of 14 ms" (4.0 /. 14.0) f
+
+let test_callgraph_blind_to_waits () =
+  (* The motivating case: 880 ms of UI delay, but the profiler only sees
+     the decryption CPU. *)
+  let case = Dpworkload.Motivating_case.build () in
+  let corpus =
+    Dptrace.Corpus.create
+      ~streams:[ case.Dpworkload.Motivating_case.stream ]
+      ~specs:case.Dpworkload.Motivating_case.specs
+  in
+  let p = Callgraph.profile corpus in
+  let delay =
+    Dptrace.Scenario.duration case.Dpworkload.Motivating_case.browser_instance
+  in
+  check Alcotest.bool "CPU is a small share of the perceived delay" true
+    (Callgraph.total_cpu p < delay / 3)
+
+let test_lock_profiler_sites () =
+  let case = Dpworkload.Motivating_case.build () in
+  let corpus =
+    Dptrace.Corpus.create
+      ~streams:[ case.Dpworkload.Motivating_case.stream ]
+      ~specs:case.Dpworkload.Motivating_case.specs
+  in
+  let lp = Lock_profiler.analyze corpus in
+  let site_names =
+    List.map
+      (fun (s : Lock_profiler.site) -> Dptrace.Signature.name s.signature)
+      (Lock_profiler.sites lp)
+  in
+  (* Both contention regions appear — as unrelated entries. *)
+  check Alcotest.bool "File Table region" true
+    (List.mem "fv.sys!QueryFileTable" site_names);
+  check Alcotest.bool "MDU region" true (List.mem "fs.sys!AcquireMDU" site_names);
+  (* Holder-side attribution is per site. *)
+  let fv_site =
+    List.find
+      (fun (s : Lock_profiler.site) ->
+        Dptrace.Signature.name s.signature = "fv.sys!QueryFileTable")
+      (Lock_profiler.sites lp)
+  in
+  check Alcotest.bool "holders recorded" true (fv_site.Lock_profiler.holders <> []);
+  check Alcotest.bool "waiter count" true (fv_site.Lock_profiler.waiters >= 2);
+  check Alcotest.bool "total wait positive" true (Lock_profiler.total_wait lp > 0)
+
+let test_lock_profiler_attribution () =
+  let case = Dpworkload.Motivating_case.build () in
+  let corpus =
+    Dptrace.Corpus.create
+      ~streams:[ case.Dpworkload.Motivating_case.stream ]
+      ~specs:case.Dpworkload.Motivating_case.specs
+  in
+  let lp = Lock_profiler.analyze corpus in
+  check Alcotest.int "absent site attributes zero" 0
+    (Lock_profiler.attribution lp (sig_ "graphics.sys!Render"));
+  check Alcotest.bool "present site attributes" true
+    (Lock_profiler.attribution lp (sig_ "fv.sys!QueryFileTable") > 0)
+
+let test_blocking_site_skips_wrappers () =
+  (* Waits whose top frames are kernel/app wrappers attribute to the
+     first real frame below. *)
+  let engine = Engine.create ~stream_id:0 () in
+  let lock = Engine.new_lock engine ~name:"L" in
+  let _h =
+    Engine.spawn engine ~start_at:0 ~name:"h" ~base_stack:[ sig_ "bg!w" ]
+      [ P.locked lock [ P.compute (Time.ms 5) ] ]
+  in
+  let _v =
+    Engine.spawn engine ~scenario:"S" ~start_at:(Time.ms 1) ~name:"v"
+      ~base_stack:[ sig_ "d.sys!Op"; sig_ "app!main" ]
+      [ P.locked lock [ P.compute (Time.ms 1) ] ]
+  in
+  let st = Engine.run engine in
+  let corpus =
+    Dptrace.Corpus.create ~streams:[ st ]
+      ~specs:[ Dptrace.Scenario.spec ~name:"S" ~tfast:1 ~tslow:2 ]
+  in
+  let lp = Lock_profiler.analyze corpus in
+  check Alcotest.bool "site is the driver frame, not kernel!AcquireLock" true
+    (Lock_profiler.attribution lp (sig_ "d.sys!Op") > 0)
+
+(* --- StackMine-style costly-pattern mining --- *)
+
+let test_stackmine_basics () =
+  let case = Dpworkload.Motivating_case.build () in
+  let corpus =
+    Dptrace.Corpus.create
+      ~streams:[ case.Dpworkload.Motivating_case.stream ]
+      ~specs:case.Dpworkload.Motivating_case.specs
+  in
+  let patterns = Dpbaseline.Stackmine.mine corpus in
+  check Alcotest.bool "patterns mined" true (patterns <> []);
+  (* Ranked by cost. *)
+  let rec decreasing = function
+    | (a : Dpbaseline.Stackmine.pattern) :: (b :: _ as rest) ->
+      a.Dpbaseline.Stackmine.cost >= b.Dpbaseline.Stackmine.cost && decreasing rest
+    | _ -> true
+  in
+  check Alcotest.bool "ranked" true (decreasing patterns);
+  (* The contended File Table query must rank among the costly stacks. *)
+  let mentions_fv (p : Dpbaseline.Stackmine.pattern) =
+    List.exists
+      (fun s -> Dptrace.Signature.name s = "fv.sys!QueryFileTable")
+      p.Dpbaseline.Stackmine.frames
+  in
+  check Alcotest.bool "fv.sys in top patterns" true
+    (List.exists mentions_fv (Dpbaseline.Stackmine.top patterns ~n:5));
+  (* ...but its limitation holds: no pattern joins the victim-side fv.sys
+     frames with the se.sys root cause — they live on different threads. *)
+  let joins_fv_and_se (p : Dpbaseline.Stackmine.pattern) =
+    let names = List.map Dptrace.Signature.name p.Dpbaseline.Stackmine.frames in
+    List.mem "fv.sys!QueryFileTable" names
+    && List.exists
+         (fun n -> String.length n >= 6 && String.sub n 0 6 = "se.sys")
+         names
+  in
+  check Alcotest.bool "cannot join fv.sys with se.sys" false
+    (List.exists joins_fv_and_se patterns)
+
+let test_stackmine_min_cost_filter () =
+  let case = Dpworkload.Motivating_case.build () in
+  let corpus =
+    Dptrace.Corpus.create
+      ~streams:[ case.Dpworkload.Motivating_case.stream ]
+      ~specs:case.Dpworkload.Motivating_case.specs
+  in
+  let all = Dpbaseline.Stackmine.mine ~min_cost:0 corpus in
+  let filtered = Dpbaseline.Stackmine.mine ~min_cost:(Time.sec 10) corpus in
+  check Alcotest.bool "filter reduces" true (List.length filtered < List.length all);
+  List.iter
+    (fun (p : Dpbaseline.Stackmine.pattern) ->
+      check Alcotest.bool "above threshold" true
+        (p.Dpbaseline.Stackmine.cost >= Time.sec 10))
+    filtered
+
+let test_stackmine_closedness () =
+  (* Two wait events with the same two-frame stack: the one-frame prefix
+     has identical support and must be dropped in favour of the longer
+     pattern. *)
+  let engine = Engine.create ~stream_id:0 () in
+  let lock = Engine.new_lock engine ~name:"L" in
+  let _h =
+    Engine.spawn engine ~start_at:0 ~name:"h" ~base_stack:[ sig_ "bg!w" ]
+      [ P.locked lock [ P.compute (Time.ms 30) ] ]
+  in
+  let _v =
+    Engine.spawn engine ~scenario:"S" ~start_at:(Time.ms 1) ~name:"v"
+      ~base_stack:[ sig_ "x.sys!Op"; sig_ "app!main" ]
+      [ P.locked lock [ P.compute (Time.ms 1) ] ]
+  in
+  let st = Engine.run engine in
+  let corpus =
+    Dptrace.Corpus.create ~streams:[ st ]
+      ~specs:[ Dptrace.Scenario.spec ~name:"S" ~tfast:1 ~tslow:2 ]
+  in
+  let patterns = Dpbaseline.Stackmine.mine ~min_cost:0 corpus in
+  let has frames =
+    List.exists
+      (fun (p : Dpbaseline.Stackmine.pattern) ->
+        List.map Dptrace.Signature.name p.Dpbaseline.Stackmine.frames = frames)
+      patterns
+  in
+  check Alcotest.bool "full stack kept" true
+    (has [ "kernel!AcquireLock"; "x.sys!Op"; "app!main" ]);
+  check Alcotest.bool "redundant prefix dropped" false
+    (has [ "kernel!AcquireLock" ])
+
+let () =
+  Alcotest.run "dpbaseline"
+    [
+      ( "callgraph",
+        [
+          Alcotest.test_case "totals" `Quick test_callgraph_totals;
+          Alcotest.test_case "sorted rows" `Quick test_callgraph_rows_sorted;
+          Alcotest.test_case "driver fraction" `Quick test_callgraph_driver_fraction;
+          Alcotest.test_case "blind to waits" `Quick test_callgraph_blind_to_waits;
+        ] );
+      ( "lock profiler",
+        [
+          Alcotest.test_case "sites" `Quick test_lock_profiler_sites;
+          Alcotest.test_case "attribution" `Quick test_lock_profiler_attribution;
+          Alcotest.test_case "wrapper skipping" `Quick test_blocking_site_skips_wrappers;
+        ] );
+      ( "stackmine",
+        [
+          Alcotest.test_case "basics" `Quick test_stackmine_basics;
+          Alcotest.test_case "min-cost filter" `Quick test_stackmine_min_cost_filter;
+          Alcotest.test_case "closedness" `Quick test_stackmine_closedness;
+        ] );
+    ]

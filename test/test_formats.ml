@@ -1,0 +1,369 @@
+(* Tests for the interchange substrates: the ETW importer, the binary
+   codec and the anonymiser. *)
+
+module Event = Dptrace.Event
+module Stream = Dptrace.Stream
+module Corpus = Dptrace.Corpus
+module Etw = Dptrace.Etw
+module Bin = Dptrace.Codec_binary
+module Time = Dputil.Time
+
+let check = Alcotest.check
+
+(* --- ETW importer --- *)
+
+let test_etw_sample_coalescing () =
+  let dump =
+    "# a profile burst\n\
+     SampledProfile, 1000, 5, \"app!f;app!main\"\n\
+     SampledProfile, 2000, 5, \"app!f;app!main\"\n\
+     SampledProfile, 3000, 5, \"app!f;app!main\"\n\
+     SampledProfile, 4000, 5, \"app!g;app!main\"\n"
+  in
+  let st = Etw.stream_of_string dump in
+  let runs =
+    Array.to_list st.Stream.events |> List.filter Event.is_running
+  in
+  check Alcotest.int "two coalesced runs" 2 (List.length runs);
+  let first = List.hd runs in
+  check Alcotest.int "three samples = 3ms" (Time.ms 3) first.Event.cost;
+  check Alcotest.int "starts at first sample" 1000 first.Event.ts
+
+let test_etw_gap_breaks_coalescing () =
+  let dump =
+    "SampledProfile, 1000, 5, \"app!f\"\n\
+     SampledProfile, 9000, 5, \"app!f\"\n"
+  in
+  let st = Etw.stream_of_string dump in
+  check Alcotest.int "gap splits runs" 2
+    (List.length (Array.to_list st.Stream.events |> List.filter Event.is_running))
+
+let test_etw_wait_reconstruction () =
+  let dump =
+    "CSwitch, 1000, 9, 5, Waiting, \"kernel!AcquireLock;d.sys!Op;app!main\"\n\
+     ReadyThread, 4000, 7, 5, \"d.sys!Release;other!w\"\n"
+  in
+  let st = Etw.stream_of_string dump in
+  let wait = Array.to_list st.Stream.events |> List.find Event.is_wait in
+  check Alcotest.int "wait tid" 5 wait.Event.tid;
+  check Alcotest.int "wait start" 1000 wait.Event.ts;
+  check Alcotest.int "wait cost" 3000 wait.Event.cost;
+  let unwait = Array.to_list st.Stream.events |> List.find Event.is_unwait in
+  check Alcotest.int "unwait by" 7 unwait.Event.tid;
+  check Alcotest.int "unwait targets" 5 unwait.Event.wtid;
+  (* Pairing must be recoverable through the stream index. *)
+  let idx = Stream.index st in
+  check Alcotest.bool "pairable" true (Stream.find_waker idx wait <> None)
+
+let test_etw_open_wait_dropped () =
+  let dump = "CSwitch, 1000, 9, 5, Waiting, \"app!main\"\n" in
+  let st = Etw.stream_of_string dump in
+  check Alcotest.int "no events" 0 (Array.length st.Stream.events)
+
+let test_etw_diskio_and_threads () =
+  let dump =
+    "Thread, 5, BrowserUI\nDiskIo, 2000, 1500, \"DiskService\"\n"
+  in
+  let st = Etw.stream_of_string dump in
+  let hw = Array.to_list st.Stream.events |> List.find Event.is_hw_service in
+  check Alcotest.int "start" 2000 hw.Event.ts;
+  check Alcotest.int "duration" 1500 hw.Event.cost;
+  check Alcotest.string "named thread kept" "BrowserUI" (Stream.thread_name st 5);
+  check Alcotest.bool "device pseudo-thread registered" true
+    (List.exists (fun (_, n) -> n = "DiskService") st.Stream.threads)
+
+let test_etw_marks () =
+  let dump =
+    "Mark, 1000, TabCreate, 5, Start\n\
+     SampledProfile, 2000, 5, \"app!f\"\n\
+     Mark, 9000, TabCreate, 5, Stop\n"
+  in
+  let st = Etw.stream_of_string dump in
+  match st.Stream.instances with
+  | [ i ] ->
+    check Alcotest.string "scenario" "TabCreate" i.Dptrace.Scenario.scenario;
+    check Alcotest.int "t0" 1000 i.Dptrace.Scenario.t0;
+    check Alcotest.int "t1" 9000 i.Dptrace.Scenario.t1
+  | l -> Alcotest.failf "expected one instance, got %d" (List.length l)
+
+let expect_etw_error dump =
+  match Etw.stream_of_string dump with
+  | exception Etw.Parse_error _ -> ()
+  | _ -> Alcotest.fail "expected Parse_error"
+
+let test_etw_errors () =
+  expect_etw_error "Bogus, 1, 2\n";
+  expect_etw_error "SampledProfile, notanint, 5, \"a!b\"\n";
+  expect_etw_error "Mark, 1000, S, 5, Stop\n";
+  expect_etw_error "Mark, 1000, S, 5, Start\nMark, 2000, S, 5, Start\n";
+  expect_etw_error "Mark, 1000, S, 5, Sideways\n";
+  expect_etw_error "DiskIo, 10, -5, \"D\"\n";
+  expect_etw_error "SampledProfile, 1, 5, \"unterminated\n"
+
+let test_etw_error_line_number () =
+  match Etw.stream_of_string "# fine\nThread, 1, a\nBogus, 1\n" with
+  | exception Etw.Parse_error { line; _ } -> check Alcotest.int "line" 3 line
+  | _ -> Alcotest.fail "expected Parse_error"
+
+let test_etw_end_to_end_analysis () =
+  (* A contention story told in ETW records: thread 5 (the instance)
+     blocks on a driver lock; thread 9 holds it while the disk serves it;
+     thread 9 readies 5 at release. The impact analysis must count 5's
+     wait. *)
+  let dump =
+    "Thread, 5, App.UI\n\
+     Thread, 9, Holder\n\
+     Mark, 0, OpenDoc, 5, Start\n\
+     SampledProfile, 500, 5, \"app!open\"\n\
+     CSwitch, 1000, 9, 5, Waiting, \"kernel!AcquireLock;flt.sys!Lookup;app!open\"\n\
+     CSwitch, 1500, 0, 9, Waiting, \"kernel!WaitForObject;fs.sys!Read;svc!w\"\n\
+     DiskIo, 1500, 20000, \"DiskService\"\n\
+     ReadyThread, 21500, 1000000, 9, \"DiskService\"\n\
+     ReadyThread, 22000, 9, 5, \"flt.sys!Lookup;svc!w\"\n\
+     SampledProfile, 23000, 5, \"app!open\"\n\
+     Mark, 24000, OpenDoc, 5, Stop\n"
+  in
+  let st = Etw.stream_of_string dump in
+  check (Alcotest.list Alcotest.string) "valid" []
+    (List.map
+       (fun v -> Format.asprintf "%a" Dptrace.Validate.pp_violation v)
+       (Dptrace.Validate.check st));
+  let corpus =
+    Corpus.create ~streams:[ st ]
+      ~specs:[ Dptrace.Scenario.spec ~name:"OpenDoc" ~tfast:10_000 ~tslow:20_000 ]
+  in
+  let r = Dpcore.Pipeline.run_impact Dpcore.Component.drivers corpus in
+  check Alcotest.int "one instance" 1 r.Dpcore.Impact.instances;
+  (* Thread 5 blocked 1000..22000 on a driver-tagged stack. *)
+  check Alcotest.int "driver wait counted" 21_000 r.Dpcore.Impact.d_wait
+
+let test_etw_roundtrip_motivating_case () =
+  (* Export the Figure 1 stream as an xperf dump, import it back, and
+     require identical impact metrics: wait intervals and sampled runs
+     must survive the ETW representation exactly. *)
+  let case = Dpworkload.Motivating_case.build () in
+  let st = case.Dpworkload.Motivating_case.stream in
+  let reimported = Etw.stream_of_string (Etw.to_dump st) in
+  check Alcotest.bool "reimported validates" true
+    (Dptrace.Validate.is_valid reimported);
+  let impact stream =
+    Dpcore.Pipeline.run_impact Dpcore.Component.drivers
+      (Corpus.create ~streams:[ stream ]
+         ~specs:case.Dpworkload.Motivating_case.specs)
+  in
+  let a = impact st and b = impact reimported in
+  check Alcotest.int "d_scn preserved" a.Dpcore.Impact.d_scn b.Dpcore.Impact.d_scn;
+  check Alcotest.int "d_wait preserved" a.Dpcore.Impact.d_wait b.Dpcore.Impact.d_wait;
+  check Alcotest.int "d_waitdist preserved" a.Dpcore.Impact.d_waitdist
+    b.Dpcore.Impact.d_waitdist;
+  check Alcotest.int "d_run preserved" a.Dpcore.Impact.d_run b.Dpcore.Impact.d_run;
+  check Alcotest.int "instances preserved"
+    (List.length st.Stream.instances)
+    (List.length reimported.Stream.instances)
+
+let test_etw_roundtrip_generated () =
+  (* The same property over a whole generated corpus. *)
+  let corpus = Dpworkload.Corpus_gen.generate (Dpworkload.Corpus_gen.scaled 0.02) in
+  let reimported_streams =
+    List.map
+      (fun (st : Stream.t) ->
+        Etw.stream_of_string
+          ~stream_id:st.Stream.id
+          (Etw.to_dump st))
+      corpus.Corpus.streams
+  in
+  let reimported =
+    Corpus.create ~streams:reimported_streams ~specs:corpus.Corpus.specs
+  in
+  let a = Dpcore.Pipeline.run_impact Dpcore.Component.drivers corpus in
+  let b = Dpcore.Pipeline.run_impact Dpcore.Component.drivers reimported in
+  check Alcotest.int "d_wait preserved" a.Dpcore.Impact.d_wait b.Dpcore.Impact.d_wait;
+  check Alcotest.int "d_waitdist preserved" a.Dpcore.Impact.d_waitdist
+    b.Dpcore.Impact.d_waitdist;
+  check Alcotest.int "d_run preserved" a.Dpcore.Impact.d_run b.Dpcore.Impact.d_run
+
+let prop_etw_mutation_safety =
+  QCheck.Test.make ~name:"mutated ETW dump never crashes" ~count:150
+    QCheck.(pair small_int (int_range 32 126))
+    (fun (pos_seed, byte) ->
+      let case = Dpworkload.Motivating_case.build () in
+      let base = Etw.to_dump case.Dpworkload.Motivating_case.stream in
+      let b = Bytes.of_string base in
+      Bytes.set b (pos_seed mod Bytes.length b) (Char.chr byte);
+      match Etw.stream_of_string (Bytes.to_string b) with
+      | _ -> true
+      | exception Etw.Parse_error _ -> true)
+
+(* --- binary codec --- *)
+
+let text_of c = Dptrace.Codec.corpus_to_string c
+
+let test_binary_roundtrip_small () =
+  let case = Dpworkload.Motivating_case.build () in
+  let corpus =
+    Corpus.create
+      ~streams:[ case.Dpworkload.Motivating_case.stream ]
+      ~specs:case.Dpworkload.Motivating_case.specs
+  in
+  let decoded = Bin.decode (Bin.encode corpus) in
+  check Alcotest.string "text-identical after roundtrip" (text_of corpus)
+    (text_of decoded)
+
+let test_binary_roundtrip_generated () =
+  let corpus = Dpworkload.Corpus_gen.generate (Dpworkload.Corpus_gen.scaled 0.03) in
+  let decoded = Bin.decode (Bin.encode corpus) in
+  check Alcotest.string "text-identical after roundtrip" (text_of corpus)
+    (text_of decoded)
+
+let test_binary_smaller_than_text () =
+  let corpus = Dpworkload.Corpus_gen.generate (Dpworkload.Corpus_gen.scaled 0.03) in
+  let bin = String.length (Bin.encode corpus) in
+  let text = String.length (text_of corpus) in
+  check Alcotest.bool "at least 3x smaller" true (bin * 3 < text)
+
+let expect_corrupt data =
+  match Bin.decode data with
+  | exception Bin.Corrupt _ -> ()
+  | _ -> Alcotest.fail "expected Corrupt"
+
+let test_binary_corruption () =
+  let corpus = Dpworkload.Corpus_gen.generate (Dpworkload.Corpus_gen.scaled 0.01) in
+  let good = Bin.encode corpus in
+  expect_corrupt "";
+  expect_corrupt "XXXX\x01";
+  expect_corrupt "DPTB\x63";
+  expect_corrupt (String.sub good 0 (String.length good / 2));
+  expect_corrupt (good ^ "trailing");
+  (* Preserve the header but clobber the middle. *)
+  let clobbered = Bytes.of_string good in
+  for i = String.length good / 2 to (String.length good / 2) + 64 do
+    if i < Bytes.length clobbered then Bytes.set clobbered i '\xff'
+  done;
+  match Bin.decode (Bytes.to_string clobbered) with
+  | exception Bin.Corrupt _ -> ()
+  | exception Invalid_argument _ -> Alcotest.fail "leaked Invalid_argument"
+  | __decoded -> () (* decoding to garbage values is acceptable; crashing is not *)
+
+let prop_binary_mutation_safety =
+  QCheck.Test.make ~name:"mutated binary corpus never crashes" ~count:150
+    QCheck.(pair small_int (int_range 0 255))
+    (fun (pos_seed, byte) ->
+      let base =
+        Bin.encode (Dpworkload.Corpus_gen.generate (Dpworkload.Corpus_gen.scaled 0.01))
+      in
+      let b = Bytes.of_string base in
+      Bytes.set b (pos_seed mod Bytes.length b) (Char.chr byte);
+      match Bin.decode (Bytes.to_string b) with
+      | _ -> true
+      | exception Bin.Corrupt _ -> true
+      | exception Invalid_argument _ -> false)
+
+(* --- anonymiser --- *)
+
+let small_corpus () = Dpworkload.Corpus_gen.generate (Dpworkload.Corpus_gen.scaled 0.02)
+
+let test_anonymize_preserves_analysis () =
+  let corpus = small_corpus () in
+  let anon, _ = Dptrace.Anonymize.corpus corpus in
+  let a = Dpcore.Pipeline.run_impact Dpcore.Component.drivers corpus in
+  let b = Dpcore.Pipeline.run_impact Dpcore.Component.drivers anon in
+  check Alcotest.int "d_scn" a.Dpcore.Impact.d_scn b.Dpcore.Impact.d_scn;
+  check Alcotest.int "d_wait" a.Dpcore.Impact.d_wait b.Dpcore.Impact.d_wait;
+  check Alcotest.int "d_waitdist" a.Dpcore.Impact.d_waitdist b.Dpcore.Impact.d_waitdist;
+  check Alcotest.int "d_run" a.Dpcore.Impact.d_run b.Dpcore.Impact.d_run
+
+let all_signatures corpus =
+  List.concat_map
+    (fun (st : Stream.t) ->
+      Array.to_list st.Stream.events
+      |> List.concat_map (fun (e : Event.t) ->
+             Array.to_list (Dptrace.Callstack.frames e.Event.stack)))
+    corpus.Corpus.streams
+  |> List.sort_uniq Dptrace.Signature.compare
+
+let test_anonymize_scrubs_names () =
+  let corpus = small_corpus () in
+  let anon, mapping = Dptrace.Anonymize.corpus corpus in
+  let names = List.map Dptrace.Signature.name (all_signatures anon) in
+  (* No original driver names survive... *)
+  List.iter
+    (fun forbidden ->
+      check Alcotest.bool (forbidden ^ " scrubbed") false
+        (List.exists
+           (fun n ->
+             String.length n >= String.length forbidden
+             && String.sub n 0 (String.length forbidden) = forbidden)
+           names))
+    [ "fv.sys"; "fs.sys"; "se.sys"; "av.sys"; "Browser"; "AntiVirus" ];
+  (* ...but the .sys structure does, so component filters still work. *)
+  check Alcotest.bool "drvN.sys present" true
+    (List.exists
+       (fun n ->
+         Dputil.Wildcard.matches (Dputil.Wildcard.compile "drv*.sys")
+           (Dptrace.Signature.module_part (Dptrace.Signature.of_string n)))
+       names);
+  (* Kernel frames and hardware dummies are infrastructure: untouched. *)
+  check Alcotest.bool "kernel kept" true
+    (List.exists (fun n -> n = "kernel!AcquireLock" || n = "kernel!WaitForObject") names);
+  check Alcotest.bool "DiskService kept" true (List.mem "DiskService" names);
+  check Alcotest.bool "mapping non-empty" true (mapping <> [])
+
+let test_anonymize_deterministic_and_consistent () =
+  let corpus = small_corpus () in
+  let a, _ = Dptrace.Anonymize.corpus corpus in
+  let b, _ = Dptrace.Anonymize.corpus corpus in
+  check Alcotest.string "deterministic" (text_of a) (text_of b)
+
+let test_anonymize_scenarios () =
+  let corpus = small_corpus () in
+  let anon, _ = Dptrace.Anonymize.corpus corpus in
+  check Alcotest.bool "scenario names scrubbed" false
+    (List.mem "BrowserTabCreate" (Corpus.scenario_names anon));
+  let kept, _ = Dptrace.Anonymize.corpus ~keep_scenarios:true corpus in
+  check Alcotest.bool "scenario names kept on demand" true
+    (List.mem "BrowserTabCreate" (Corpus.scenario_names kept));
+  (* Specs follow the instances so classification still works. *)
+  List.iter
+    (fun name ->
+      check Alcotest.bool (name ^ " has spec") true
+        (Corpus.find_spec anon name <> None))
+    (Corpus.scenario_names anon)
+
+let () =
+  Alcotest.run "formats"
+    [
+      ( "etw import",
+        [
+          Alcotest.test_case "sample coalescing" `Quick test_etw_sample_coalescing;
+          Alcotest.test_case "gap breaks coalescing" `Quick test_etw_gap_breaks_coalescing;
+          Alcotest.test_case "wait reconstruction" `Quick test_etw_wait_reconstruction;
+          Alcotest.test_case "open wait dropped" `Quick test_etw_open_wait_dropped;
+          Alcotest.test_case "disk io / threads" `Quick test_etw_diskio_and_threads;
+          Alcotest.test_case "marks" `Quick test_etw_marks;
+          Alcotest.test_case "parse errors" `Quick test_etw_errors;
+          Alcotest.test_case "error lines" `Quick test_etw_error_line_number;
+          Alcotest.test_case "end-to-end analysis" `Quick test_etw_end_to_end_analysis;
+          Alcotest.test_case "export/import roundtrip (case)" `Quick
+            test_etw_roundtrip_motivating_case;
+          Alcotest.test_case "export/import roundtrip (corpus)" `Quick
+            test_etw_roundtrip_generated;
+          QCheck_alcotest.to_alcotest prop_etw_mutation_safety;
+        ] );
+      ( "binary codec",
+        [
+          Alcotest.test_case "roundtrip (case)" `Quick test_binary_roundtrip_small;
+          Alcotest.test_case "roundtrip (generated)" `Quick
+            test_binary_roundtrip_generated;
+          Alcotest.test_case "smaller than text" `Quick test_binary_smaller_than_text;
+          Alcotest.test_case "corruption handling" `Quick test_binary_corruption;
+          QCheck_alcotest.to_alcotest prop_binary_mutation_safety;
+        ] );
+      ( "anonymize",
+        [
+          Alcotest.test_case "analysis preserved" `Quick test_anonymize_preserves_analysis;
+          Alcotest.test_case "names scrubbed" `Quick test_anonymize_scrubs_names;
+          Alcotest.test_case "deterministic" `Quick
+            test_anonymize_deterministic_and_consistent;
+          Alcotest.test_case "scenario handling" `Quick test_anonymize_scenarios;
+        ] );
+    ]

@@ -1,0 +1,216 @@
+(* End-to-end integration tests: the full pipeline over a generated corpus
+   must reproduce the paper's shapes, and serialisation must not perturb
+   any result. *)
+
+module Corpus_gen = Dpworkload.Corpus_gen
+module Pipeline = Dpcore.Pipeline
+module Impact = Dpcore.Impact
+module Mining = Dpcore.Mining
+module Evaluation = Dpcore.Evaluation
+
+let check = Alcotest.check
+let drivers = Dpcore.Component.drivers
+
+(* One corpus shared by all integration tests (generation is fast but
+   not free). *)
+let corpus = lazy (Corpus_gen.generate (Corpus_gen.scaled 0.25))
+
+let named_results =
+  lazy
+    (List.map
+       (fun (tpl : Dpworkload.Scenarios.template) ->
+         let name = tpl.Dpworkload.Scenarios.spec.Dptrace.Scenario.name in
+         (name, Pipeline.run_scenario drivers (Lazy.force corpus) name))
+       Dpworkload.Scenarios.named)
+
+let test_impact_bands () =
+  let r = Pipeline.run_impact drivers (Lazy.force corpus) in
+  let ia_wait = 100.0 *. Impact.ia_wait r in
+  let ia_run = 100.0 *. Impact.ia_run r in
+  let ia_opt = 100.0 *. Impact.ia_opt r in
+  let ratio = Impact.propagation_ratio r in
+  (* Paper: 36.4 / 1.6 / 26 / 3.5. We assert the shape bands. *)
+  check Alcotest.bool "IA_wait in band" true (ia_wait > 30.0 && ia_wait < 55.0);
+  check Alcotest.bool "IA_run in band" true (ia_run > 0.5 && ia_run < 4.0);
+  check Alcotest.bool "IA_opt in band" true (ia_opt > 15.0 && ia_opt < 35.0);
+  check Alcotest.bool "wait dominates CPU >10x" true (ia_wait /. ia_run > 10.0);
+  check Alcotest.bool "propagation ratio > 1.5" true (ratio > 1.5);
+  check Alcotest.bool "consistency: opt = wait*(1-1/ratio)" true
+    (abs_float (ia_opt -. (ia_wait *. (1.0 -. (1.0 /. ratio)))) < 0.5)
+
+let test_all_scenarios_mine_patterns () =
+  List.iter
+    (fun (name, (r : Pipeline.scenario_result)) ->
+      let n = List.length r.Pipeline.mining.Mining.patterns in
+      check Alcotest.bool (name ^ " has patterns") true (n >= 10);
+      check Alcotest.bool (name ^ " has contrasts") true
+        (r.Pipeline.mining.Mining.contrast_metas <> []))
+    (Lazy.force named_results)
+
+let test_itc_le_ttc () =
+  List.iter
+    (fun (name, (r : Pipeline.scenario_result)) ->
+      let c = r.Pipeline.coverages in
+      check Alcotest.bool (name ^ " itc<=ttc") true
+        (c.Evaluation.itc <= c.Evaluation.ttc +. 1e-9);
+      check Alcotest.bool (name ^ " ttc bounded") true
+        (c.Evaluation.ttc <= 1.0 +. 1e-9))
+    (Lazy.force named_results)
+
+let test_ranking_concentrates () =
+  List.iter
+    (fun (name, (r : Pipeline.scenario_result)) ->
+      let ps = r.Pipeline.mining.Mining.patterns in
+      let c10 = Evaluation.ranking_coverage ps ~top_fraction:0.10 in
+      let c30 = Evaluation.ranking_coverage ps ~top_fraction:0.30 in
+      check Alcotest.bool (name ^ " top-10% beats uniform") true (c10 > 0.10);
+      check Alcotest.bool (name ^ " monotone") true (c30 >= c10))
+    (Lazy.force named_results)
+
+let result name = List.assoc name (Lazy.force named_results)
+
+let test_tab_switch_non_optimizable () =
+  (* The paper: 66.6% of TabSwitch driver cost is direct hardware; it must
+     be the most hardware-bound of the browser scenarios here too. *)
+  let ts = Dpcore.Awg.non_optimizable_fraction (result "BrowserTabSwitch").Pipeline.slow_awg in
+  check Alcotest.bool "substantial" true (ts > 0.4);
+  let tc = Dpcore.Awg.non_optimizable_fraction (result "BrowserTabCreate").Pipeline.slow_awg in
+  check Alcotest.bool "dominates TabCreate" true (ts > tc)
+
+let top10_types name =
+  Evaluation.driver_type_counts
+    (result name).Pipeline.mining.Mining.patterns ~top_n:10
+    ~type_of:Dpworkload.Taxonomy.type_name_of_signature
+
+let test_table4_affinities () =
+  (* MenuDisplay is network-bound. *)
+  (match top10_types "MenuDisplay" with
+  | (ty, _) :: _ -> check Alcotest.string "menu top type" "Network" ty
+  | [] -> Alcotest.fail "no types for MenuDisplay");
+  (* File-system drivers appear in AppAccessControl's patterns alongside
+     filters (the security-software architecture). *)
+  let acc = top10_types "AppAccessControl" in
+  check Alcotest.bool "filters in access control" true
+    (List.mem_assoc "FileSystem Filter" acc);
+  check Alcotest.bool "fs in access control" true
+    (List.mem_assoc "FileSystem/Storage" acc);
+  (* Graphics shows up for AppNonResponsive (the hard-fault motif). *)
+  let anr = top10_types "AppNonResponsive" in
+  check Alcotest.bool "graphics in non-responsive" true
+    (List.mem_assoc "Graphics" anr)
+
+let test_classification_shapes () =
+  (* WebPageNavigation is the majority-fast scenario (paper: 54% fast);
+     BrowserTabCreate is majority-slow (paper: 64% slow). *)
+  let frac name pick =
+    let c = (result name).Pipeline.classification in
+    let f, m, s = Dpcore.Classify.counts c in
+    let total = float_of_int (f + m + s) in
+    pick (float_of_int f /. total) (float_of_int s /. total)
+  in
+  check Alcotest.bool "wpn mostly fast" true
+    (frac "WebPageNavigation" (fun f _ -> f > 0.4));
+  check Alcotest.bool "tab create mostly slow" true
+    (frac "BrowserTabCreate" (fun _ s -> s > 0.5))
+
+let test_codec_preserves_analysis () =
+  let corpus = Corpus_gen.generate (Corpus_gen.scaled 0.05) in
+  let reloaded =
+    Dptrace.Codec.corpus_of_string (Dptrace.Codec.corpus_to_string corpus)
+  in
+  let a = Pipeline.run_impact drivers corpus in
+  let b = Pipeline.run_impact drivers reloaded in
+  check Alcotest.int "d_scn preserved" a.Impact.d_scn b.Impact.d_scn;
+  check Alcotest.int "d_wait preserved" a.Impact.d_wait b.Impact.d_wait;
+  check Alcotest.int "d_waitdist preserved" a.Impact.d_waitdist b.Impact.d_waitdist;
+  check Alcotest.int "d_run preserved" a.Impact.d_run b.Impact.d_run
+
+let test_k_ablation_monotone () =
+  (* Larger segment bounds can only discover more (or equal) contrast
+     meta-patterns. *)
+  let corpus = Lazy.force corpus in
+  let metas k =
+    let r = Pipeline.run_scenario ~k drivers corpus "BrowserTabCreate" in
+    List.length r.Pipeline.mining.Mining.contrast_metas
+  in
+  let m1 = metas 1 and m3 = metas 3 and m5 = metas 5 in
+  check Alcotest.bool "k=3 >= k=1" true (m3 >= m1);
+  check Alcotest.bool "k=5 >= k=3" true (m5 >= m3)
+
+let test_reduction_ablation () =
+  (* Disabling the non-optimisable reduction must add hardware-only
+     structures back into the AWG. *)
+  let corpus = Lazy.force corpus in
+  let reduced = Pipeline.run_scenario ~reduce:true drivers corpus "BrowserTabSwitch" in
+  let full = Pipeline.run_scenario ~reduce:false drivers corpus "BrowserTabSwitch" in
+  check Alcotest.bool "more cost without reduction" true
+    (Dpcore.Awg.total_cost full.Pipeline.slow_awg
+    > Dpcore.Awg.total_cost reduced.Pipeline.slow_awg)
+
+let test_witness_on_full_corpus () =
+  let corpus = Lazy.force corpus in
+  let r = result "BrowserTabCreate" in
+  let pattern = List.hd r.Pipeline.mining.Mining.patterns in
+  match
+    Dpcore.Explorer.witnesses ~limit:2 drivers corpus
+      ~scenario:"BrowserTabCreate" ~pattern ()
+  with
+  | [] -> Alcotest.fail "top pattern has no witness in its own corpus"
+  | w :: _ ->
+    let spec = r.Pipeline.classification.Dpcore.Classify.spec in
+    check Alcotest.bool "witness is a slow instance" true
+      (Dptrace.Scenario.classify spec w.Dpcore.Explorer.instance
+      = Dptrace.Scenario.Slow);
+    (* And the timeline of the witness renders. *)
+    check Alcotest.bool "timeline renders" true
+      (String.length
+         (Dptrace.Timeline.render_instance w.Dpcore.Explorer.stream
+            w.Dpcore.Explorer.instance)
+      > 100)
+
+let test_report_renderers () =
+  let named = Lazy.force named_results in
+  let classes = List.map (fun (n, r) -> (n, r.Pipeline.classification)) named in
+  let tables =
+    [
+      Dputil.Table.render (Dpcore.Report.scenario_classes classes);
+      Dputil.Table.render (Dpcore.Report.coverages named);
+      Dputil.Table.render (Dpcore.Report.ranking named);
+      Dputil.Table.render
+        (Dpcore.Report.driver_types named
+           ~type_names:
+             (List.map Dpworkload.Taxonomy.type_name Dpworkload.Taxonomy.all_types)
+           ~type_of:Dpworkload.Taxonomy.type_name_of_signature);
+    ]
+  in
+  List.iter
+    (fun t -> check Alcotest.bool "non-empty table" true (String.length t > 100))
+    tables
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "paper shapes",
+        [
+          Alcotest.test_case "impact bands (E1)" `Slow test_impact_bands;
+          Alcotest.test_case "patterns everywhere (E3)" `Slow
+            test_all_scenarios_mine_patterns;
+          Alcotest.test_case "ITC <= TTC (E3)" `Slow test_itc_le_ttc;
+          Alcotest.test_case "ranking concentrates (E4)" `Slow
+            test_ranking_concentrates;
+          Alcotest.test_case "TabSwitch non-optimisable (E9)" `Slow
+            test_tab_switch_non_optimizable;
+          Alcotest.test_case "Table 4 affinities (E5)" `Slow test_table4_affinities;
+          Alcotest.test_case "class shapes (E2)" `Slow test_classification_shapes;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "codec preserves analysis" `Slow
+            test_codec_preserves_analysis;
+          Alcotest.test_case "k ablation monotone (A1)" `Slow test_k_ablation_monotone;
+          Alcotest.test_case "reduction ablation (A2)" `Slow test_reduction_ablation;
+          Alcotest.test_case "report renderers" `Slow test_report_renderers;
+          Alcotest.test_case "witness on full corpus" `Slow
+            test_witness_on_full_corpus;
+        ] );
+    ]

@@ -1,0 +1,401 @@
+(* Unit and property tests for the dputil substrate. *)
+
+module Prng = Dputil.Prng
+module Time = Dputil.Time
+module Wildcard = Dputil.Wildcard
+module Stats = Dputil.Stats
+module Interner = Dputil.Interner
+module Table = Dputil.Table
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* --- Prng --- *)
+
+let test_prng_deterministic () =
+  let a = Prng.of_int 7 and b = Prng.of_int 7 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same sequence" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.of_int 7 and b = Prng.of_int 8 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.next_int64 a = Prng.next_int64 b then incr same
+  done;
+  check Alcotest.bool "sequences differ" true (!same < 4)
+
+let test_prng_split_independent () =
+  let g = Prng.of_int 99 in
+  let a = Prng.split g in
+  let b = Prng.split g in
+  let collisions = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.next_int64 a = Prng.next_int64 b then incr collisions
+  done;
+  check Alcotest.int "no collisions" 0 !collisions
+
+let test_prng_chance_extremes () =
+  let g = Prng.of_int 1 in
+  for _ = 1 to 50 do
+    check Alcotest.bool "p=0 never" false (Prng.chance g 0.0);
+    check Alcotest.bool "p=1 always" true (Prng.chance g 1.0)
+  done
+
+let test_prng_exponential_mean () =
+  let g = Prng.of_int 5 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    let x = Prng.exponential g ~mean:10.0 in
+    check Alcotest.bool "positive" true (x >= 0.0);
+    sum := !sum +. x
+  done;
+  let mean = !sum /. float_of_int n in
+  check Alcotest.bool "mean within 5%" true (abs_float (mean -. 10.0) < 0.5)
+
+let test_prng_lognormal_median () =
+  let g = Prng.of_int 6 in
+  let n = 20_001 in
+  let xs = Array.init n (fun _ -> Prng.lognormal g ~median:50.0 ~sigma:0.8) in
+  let med = Stats.median xs in
+  check Alcotest.bool "median near 50" true (abs_float (med -. 50.0) < 3.0)
+
+let test_prng_pareto_scale () =
+  let g = Prng.of_int 8 in
+  for _ = 1 to 1_000 do
+    let x = Prng.pareto g ~scale:3.0 ~alpha:1.5 in
+    check Alcotest.bool ">= scale" true (x >= 3.0)
+  done
+
+let test_prng_choose_weighted () =
+  let g = Prng.of_int 4 in
+  for _ = 1 to 200 do
+    let x = Prng.choose_weighted g [ (0.0, `Never); (1.0, `Always) ] in
+    check Alcotest.bool "zero-weight branch never taken" true (x = `Always)
+  done
+
+let prop_int_bounds =
+  QCheck.Test.make ~name:"Prng.int in [0, bound)" ~count:500
+    QCheck.(pair small_int (int_range 1 10_000))
+    (fun (seed, bound) ->
+      let g = Prng.of_int seed in
+      let x = Prng.int g bound in
+      x >= 0 && x < bound)
+
+let prop_int_in_bounds =
+  QCheck.Test.make ~name:"Prng.int_in inclusive bounds" ~count:500
+    QCheck.(triple small_int (int_range (-1000) 1000) (int_range 0 1000))
+    (fun (seed, lo, extent) ->
+      let hi = lo + extent in
+      let g = Prng.of_int seed in
+      let x = Prng.int_in g lo hi in
+      x >= lo && x <= hi)
+
+let prop_shuffle_permutation =
+  QCheck.Test.make ~name:"Prng.shuffle preserves multiset" ~count:200
+    QCheck.(pair small_int (small_list int))
+    (fun (seed, xs) ->
+      let arr = Array.of_list xs in
+      Prng.shuffle (Prng.of_int seed) arr;
+      List.sort compare (Array.to_list arr) = List.sort compare xs)
+
+let prop_float_bounds =
+  QCheck.Test.make ~name:"Prng.float in [0, bound)" ~count:500
+    QCheck.(pair small_int (float_range 0.001 1000.0))
+    (fun (seed, bound) ->
+      let x = Prng.float (Prng.of_int seed) bound in
+      x >= 0.0 && x < bound)
+
+(* --- Time --- *)
+
+let test_time_conversions () =
+  check Alcotest.int "ms" 1_000 (Time.ms 1);
+  check Alcotest.int "sec" 1_000_000 (Time.sec 1);
+  check Alcotest.int "us" 42 (Time.us 42);
+  check Alcotest.int "of_ms_float rounds" 1_500 (Time.of_ms_float 1.5);
+  check Alcotest.int "of_ms_float rounds nearest" 1_000 (Time.of_ms_float 0.9999);
+  check (Alcotest.float 1e-9) "to_ms_float" 1.5 (Time.to_ms_float 1_500);
+  check (Alcotest.float 1e-9) "to_sec_float" 0.25 (Time.to_sec_float 250_000)
+
+let test_time_round_to () =
+  check Alcotest.int "exact multiple" 2_000 (Time.round_to 2_000 ~granularity:1_000);
+  check Alcotest.int "rounds up" 3_000 (Time.round_to 2_001 ~granularity:1_000);
+  check Alcotest.int "zero becomes one period" 1_000 (Time.round_to 0 ~granularity:1_000);
+  check Alcotest.int "negative becomes one period" 500 (Time.round_to (-3) ~granularity:500)
+
+let test_time_pp () =
+  check Alcotest.string "us" "900us" (Time.to_string 900);
+  check Alcotest.string "ms" "1.5ms" (Time.to_string 1_500);
+  check Alcotest.string "s" "2.50s" (Time.to_string 2_500_000)
+
+let prop_round_to_multiple =
+  QCheck.Test.make ~name:"round_to yields a positive multiple" ~count:500
+    QCheck.(pair (int_range (-100) 100_000) (int_range 1 5_000))
+    (fun (d, g) ->
+      let r = Time.round_to d ~granularity:g in
+      r mod g = 0 && r >= g && (d <= 0 || r >= d))
+
+(* --- Wildcard --- *)
+
+let m pat s = Wildcard.matches (Wildcard.compile pat) s
+
+let test_wildcard_basics () =
+  check Alcotest.bool "literal" true (m "fv.sys" "fv.sys");
+  check Alcotest.bool "literal mismatch" false (m "fv.sys" "fs.sys");
+  check Alcotest.bool "star suffix" true (m "*.sys" "graphics.sys");
+  check Alcotest.bool "star suffix mismatch" false (m "*.sys" "kernel");
+  check Alcotest.bool "case-insensitive" true (m "*.SYS" "Fv.sys");
+  check Alcotest.bool "question mark" true (m "f?.sys" "fv.sys");
+  check Alcotest.bool "question needs a char" false (m "f?.sys" "f.sys");
+  check Alcotest.bool "empty pattern, empty string" true (m "" "");
+  check Alcotest.bool "empty pattern, non-empty" false (m "" "x");
+  check Alcotest.bool "star alone" true (m "*" "");
+  check Alcotest.bool "prefix star star" true (m "**x" "abcx")
+
+let test_wildcard_backtracking () =
+  check Alcotest.bool "a*a on aa" true (m "a*a" "aa");
+  check Alcotest.bool "a*a on aba" true (m "a*a" "aba");
+  check Alcotest.bool "a*a on ab" false (m "a*a" "ab");
+  check Alcotest.bool "*a*b interleaved" true (m "*a*b" "xaxbxb");
+  check Alcotest.bool "pattern longer than string" false (m "abc?" "abc");
+  (* Regression: used to index out of bounds when backtracking past the
+     end of the subject string. *)
+  check Alcotest.bool "backtrack at end of string" false (m "*ab" "axa");
+  check Alcotest.bool "trailing star consumes rest" true (m "ab*" "abcdef")
+
+let test_wildcard_matches_any () =
+  let pats = [ Wildcard.compile "*.sys"; Wildcard.compile "kernel" ] in
+  check Alcotest.bool "first" true (Wildcard.matches_any pats "fv.sys");
+  check Alcotest.bool "second" true (Wildcard.matches_any pats "KERNEL");
+  check Alcotest.bool "neither" false (Wildcard.matches_any pats "app.exe")
+
+let prop_star_matches_all =
+  QCheck.Test.make ~name:"pattern * matches everything" ~count:300
+    QCheck.printable_string
+    (fun s -> m "*" s)
+
+let prop_literal_self_match =
+  QCheck.Test.make ~name:"literal pattern matches itself" ~count:300
+    QCheck.(string_gen_of_size (Gen.int_range 0 30) (Gen.char_range 'a' 'z'))
+    (fun s -> m s s)
+
+let prop_star_wrap =
+  QCheck.Test.make ~name:"*s* matches any superstring" ~count:300
+    QCheck.(
+      triple
+        (string_gen_of_size (Gen.int_range 0 8) (Gen.char_range 'a' 'z'))
+        (string_gen_of_size (Gen.int_range 0 8) (Gen.char_range 'a' 'z'))
+        (string_gen_of_size (Gen.int_range 0 8) (Gen.char_range 'a' 'z')))
+    (fun (pre, mid, post) -> m ("*" ^ mid ^ "*") (pre ^ mid ^ post))
+
+(* --- Stats --- *)
+
+let test_stats_basics () =
+  check (Alcotest.float 1e-9) "mean" 2.0 (Stats.mean [| 1.0; 2.0; 3.0 |]);
+  check (Alcotest.float 1e-9) "mean empty" 0.0 (Stats.mean [||]);
+  check (Alcotest.float 1e-9) "sum" 6.0 (Stats.sum [| 1.0; 2.0; 3.0 |]);
+  check (Alcotest.float 1e-6) "stddev" (sqrt (2.0 /. 3.0))
+    (Stats.stddev [| 1.0; 2.0; 3.0 |]);
+  check (Alcotest.float 1e-9) "stddev single" 0.0 (Stats.stddev [| 5.0 |])
+
+let test_stats_percentile () =
+  let xs = [| 10.0; 20.0; 30.0; 40.0 |] in
+  check (Alcotest.float 1e-9) "p0 = min" 10.0 (Stats.percentile xs 0.0);
+  check (Alcotest.float 1e-9) "p100 = max" 40.0 (Stats.percentile xs 100.0);
+  check (Alcotest.float 1e-9) "p50 interpolates" 25.0 (Stats.percentile xs 50.0);
+  check (Alcotest.float 1e-9) "unsorted input" 25.0
+    (Stats.percentile [| 40.0; 10.0; 30.0; 20.0 |] 50.0);
+  check (Alcotest.float 1e-9) "empty" 0.0 (Stats.percentile [||] 50.0)
+
+let test_stats_ratio () =
+  check (Alcotest.float 1e-9) "normal" 0.5 (Stats.ratio 1.0 2.0);
+  check (Alcotest.float 1e-9) "div by zero is 0" 0.0 (Stats.ratio 1.0 0.0);
+  check (Alcotest.float 1e-9) "pct" 50.0 (Stats.pct 1.0 2.0)
+
+let test_stats_summary () =
+  let s = Stats.summarize [| 1.0; 2.0; 3.0; 4.0 |] in
+  check Alcotest.int "count" 4 s.Stats.count;
+  check (Alcotest.float 1e-9) "min" 1.0 s.Stats.min;
+  check (Alcotest.float 1e-9) "max" 4.0 s.Stats.max;
+  check (Alcotest.float 1e-9) "p50" 2.5 s.Stats.p50
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentile is monotone in p" ~count:200
+    QCheck.(pair (list_of_size (Gen.int_range 1 30) (float_range 0.0 100.0))
+              (pair (float_range 0.0 100.0) (float_range 0.0 100.0)))
+    (fun (xs, (p1, p2)) ->
+      let xs = Array.of_list xs in
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      Stats.percentile xs lo <= Stats.percentile xs hi +. 1e-9)
+
+(* --- Interner --- *)
+
+let test_interner_roundtrip () =
+  let t = Interner.create () in
+  let a = Interner.intern t "alpha" in
+  let b = Interner.intern t "beta" in
+  check Alcotest.int "stable id" a (Interner.intern t "alpha");
+  check Alcotest.bool "distinct ids" true (a <> b);
+  check Alcotest.string "name a" "alpha" (Interner.name t a);
+  check Alcotest.string "name b" "beta" (Interner.name t b);
+  check Alcotest.int "size" 2 (Interner.size t);
+  check (Alcotest.option Alcotest.int) "find_opt hit" (Some a)
+    (Interner.find_opt t "alpha");
+  check (Alcotest.option Alcotest.int) "find_opt miss" None
+    (Interner.find_opt t "gamma")
+
+let test_interner_growth () =
+  let t = Interner.create ~capacity:2 () in
+  let ids = List.init 100 (fun i -> Interner.intern t (string_of_int i)) in
+  check Alcotest.int "size" 100 (Interner.size t);
+  List.iteri
+    (fun i id -> check Alcotest.string "name" (string_of_int i) (Interner.name t id))
+    ids
+
+let test_interner_bad_id () =
+  let t = Interner.create () in
+  Alcotest.check_raises "negative id" (Invalid_argument "Interner.name: unknown id -1")
+    (fun () -> ignore (Interner.name t (-1)))
+
+let test_interner_iter_order () =
+  let t = Interner.create () in
+  List.iter (fun s -> ignore (Interner.intern t s)) [ "x"; "y"; "z" ];
+  let seen = ref [] in
+  Interner.iter t (fun id s -> seen := (id, s) :: !seen);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.string))
+    "insertion order"
+    [ (0, "x"); (1, "y"); (2, "z") ]
+    (List.rev !seen)
+
+(* --- Histogram --- *)
+
+module Histogram = Dputil.Histogram
+
+let test_histogram_binning () =
+  let h = Histogram.create ~buckets:4 [| 0.0; 1.0; 2.0; 3.0; 4.0 |] in
+  check Alcotest.int "buckets" 4 (Histogram.bucket_count h);
+  check (Alcotest.array Alcotest.int) "counts" [| 1; 1; 1; 2 |] (Histogram.counts h);
+  let lo, _ = (Histogram.bounds h).(0) in
+  check (Alcotest.float 1e-9) "first lo" 0.0 lo;
+  let _, hi = (Histogram.bounds h).(3) in
+  check (Alcotest.float 1e-9) "last hi" 4.0 hi
+
+let test_histogram_degenerate () =
+  check Alcotest.int "empty" 0 (Histogram.bucket_count (Histogram.create [||]));
+  check Alcotest.string "empty renders" "(no samples)\n"
+    (Histogram.render (Histogram.create [||]));
+  let constant = Histogram.create [| 5.0; 5.0; 5.0 |] in
+  check (Alcotest.array Alcotest.int) "constant = one bin" [| 3 |]
+    (Histogram.counts constant)
+
+let test_histogram_render () =
+  let h = Histogram.create ~buckets:2 [| 0.0; 0.1; 0.2; 10.0 |] in
+  let text = Histogram.render ~width:10 h in
+  check Alcotest.bool "bars present" true (String.contains text '#');
+  let marked =
+    Histogram.render_with_markers ~markers:[ ("T_fast", 9.0) ] h
+  in
+  check Alcotest.bool "marker printed" true
+    (let rec has i =
+       i + 6 <= String.length marked
+       && (String.sub marked i 6 = "T_fast" || has (i + 1))
+     in
+     has 0)
+
+let prop_histogram_conserves_samples =
+  QCheck.Test.make ~name:"histogram conserves sample count" ~count:200
+    QCheck.(list_of_size (Gen.int_range 0 200) (float_range (-1000.0) 1000.0))
+    (fun xs ->
+      let arr = Array.of_list xs in
+      let h = Histogram.create ~buckets:13 arr in
+      Array.fold_left ( + ) 0 (Histogram.counts h) = Array.length arr)
+
+(* --- Table --- *)
+
+let string_contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_table_render () =
+  let t = Table.create [ ("Name", Table.Left); ("N", Table.Right) ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_separator t;
+  Table.add_row t [ "b"; "22" ];
+  let s = Table.render t in
+  check Alcotest.bool "contains header" true
+    (String.length s > 0
+    && string_contains s "Name"
+    && string_contains s "alpha"
+    && string_contains s "22")
+
+let test_table_mismatch () =
+  let t = Table.create [ ("A", Table.Left) ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: cell count mismatch")
+    (fun () -> Table.add_row t [ "x"; "y" ])
+
+let () =
+  Alcotest.run "dputil"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "split independence" `Quick test_prng_split_independent;
+          Alcotest.test_case "chance extremes" `Quick test_prng_chance_extremes;
+          Alcotest.test_case "exponential mean" `Slow test_prng_exponential_mean;
+          Alcotest.test_case "lognormal median" `Slow test_prng_lognormal_median;
+          Alcotest.test_case "pareto scale" `Quick test_prng_pareto_scale;
+          Alcotest.test_case "choose_weighted" `Quick test_prng_choose_weighted;
+          qcheck prop_int_bounds;
+          qcheck prop_int_in_bounds;
+          qcheck prop_shuffle_permutation;
+          qcheck prop_float_bounds;
+        ] );
+      ( "time",
+        [
+          Alcotest.test_case "conversions" `Quick test_time_conversions;
+          Alcotest.test_case "round_to" `Quick test_time_round_to;
+          Alcotest.test_case "pp" `Quick test_time_pp;
+          qcheck prop_round_to_multiple;
+        ] );
+      ( "wildcard",
+        [
+          Alcotest.test_case "basics" `Quick test_wildcard_basics;
+          Alcotest.test_case "backtracking" `Quick test_wildcard_backtracking;
+          Alcotest.test_case "matches_any" `Quick test_wildcard_matches_any;
+          qcheck prop_star_matches_all;
+          qcheck prop_literal_self_match;
+          qcheck prop_star_wrap;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basics" `Quick test_stats_basics;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "ratio" `Quick test_stats_ratio;
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+          qcheck prop_percentile_monotone;
+        ] );
+      ( "interner",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_interner_roundtrip;
+          Alcotest.test_case "growth" `Quick test_interner_growth;
+          Alcotest.test_case "bad id" `Quick test_interner_bad_id;
+          Alcotest.test_case "iter order" `Quick test_interner_iter_order;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "binning" `Quick test_histogram_binning;
+          Alcotest.test_case "degenerate" `Quick test_histogram_degenerate;
+          Alcotest.test_case "render" `Quick test_histogram_render;
+          qcheck prop_histogram_conserves_samples;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "mismatch" `Quick test_table_mismatch;
+        ] );
+    ]
