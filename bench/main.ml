@@ -3,9 +3,11 @@
    ablations (A1, A2), and times the analysis kernels with Bechamel.
 
    Knobs (environment):
-     BENCH_SCALE  corpus scale (default 1.0 ≈ one tenth of paper volume)
-     BENCH_SEED   corpus seed (default 42)
-     BENCH_QUOTA  seconds per Bechamel micro-benchmark (default 0.5) *)
+     BENCH_SCALE        corpus scale (default 1.0 ≈ one tenth of paper volume)
+     BENCH_SEED         corpus seed (default 42)
+     BENCH_QUOTA        seconds per Bechamel micro-benchmark (default 0.5)
+     DRIVEPERF_DOMAINS  default analysis parallelism (default: recommended
+                        domain count); the scaling suite sweeps 1/2/4/this *)
 
 module Table = Dputil.Table
 module Impact = Dpcore.Impact
@@ -44,11 +46,15 @@ let corpus =
       Dpworkload.Corpus_gen.generate
         { Dpworkload.Corpus_gen.default_config with scale; seed })
 
+let bench_pool = Dppar.Pool.create ()
+
 let named_results =
-  timed "causality analysis x8" (fun () ->
-      List.map
-        (fun name -> (name, Pipeline.run_scenario drivers corpus name))
-        Paper.scenarios)
+  timed
+    (Printf.sprintf "causality analysis x8 (%d domains)"
+       (Dppar.Pool.size bench_pool))
+    (fun () ->
+      Pipeline.run_all ~pool:bench_pool ~scenarios:Paper.scenarios drivers
+        corpus)
 
 let result name = List.assoc name named_results
 
@@ -57,7 +63,10 @@ let result name = List.assoc name named_results
 let e1 () =
   section "E1 - Impact analysis of device drivers (Section 5.1)";
   Format.printf "%a@." Dptrace.Corpus.pp_summary corpus;
-  let r = timed "impact analysis" (fun () -> Pipeline.run_impact drivers corpus) in
+  let r =
+    timed "impact analysis" (fun () ->
+        Pipeline.run_impact ~pool:bench_pool drivers corpus)
+  in
   let t =
     Table.create ~title:"Headline metrics, paper vs measured"
       [ ("Metric", Table.Left); ("Paper", Table.Right); ("Measured", Table.Right) ]
@@ -419,7 +428,7 @@ let r1 () =
   section "R1 - Bootstrap confidence intervals for the headline metrics";
   let r =
     timed "bootstrap (200 replicates)" (fun () ->
-        Dpcore.Robustness.bootstrap drivers corpus)
+        Dpcore.Robustness.bootstrap ~pool:bench_pool drivers corpus)
   in
   Format.printf "%a@." Dpcore.Robustness.pp r;
   Printf.printf
@@ -471,6 +480,90 @@ let a3 () =
      frames) while the driver-attributed metrics stay in regime - the\n\
      unbounded-CPU default is a sound approximation for this study.";
   print_newline ()
+
+(* --- Parallel scaling: the same analysis at 1, 2, 4 and the recommended
+   number of domains. Stream indexes are pre-warmed (they are memoised
+   corpus-wide), so every timed run measures pure analysis work and no run
+   is favoured by a warmer cache than another. --- *)
+
+let parallel_scaling () =
+  section "Parallel scaling (dppar domain pool)";
+  let recommended = Dppar.Pool.default_domains () in
+  let counts = List.sort_uniq compare [ 1; 2; 4; recommended ] in
+  List.iter
+    (fun st -> ignore (Dptrace.Stream.shared_index st))
+    corpus.Dptrace.Corpus.streams;
+  let workload pool =
+    ( Pipeline.run_all ~pool ~scenarios:Paper.scenarios drivers corpus,
+      Pipeline.run_impact ~pool drivers corpus )
+  in
+  let runs =
+    List.map
+      (fun domains ->
+        let t0 = Unix.gettimeofday () in
+        let r =
+          Dppar.Pool.with_pool ~domains (fun pool ->
+              timed (Printf.sprintf "full analysis, %d domain(s)" domains)
+                (fun () -> workload pool))
+        in
+        (domains, Unix.gettimeofday () -. t0, r))
+      counts
+  in
+  let base_seconds, (base_all, base_impact) =
+    match runs with
+    | (_, t, r) :: _ -> (t, r)
+    | [] -> assert false
+  in
+  let identical =
+    List.for_all
+      (fun (_, _, (all, impact)) ->
+        impact = base_impact
+        && List.for_all2
+             (fun (na, (ra : Pipeline.scenario_result)) (nb, rb) ->
+               na = nb
+               && ra.Pipeline.slow_impact = rb.Pipeline.slow_impact
+               && ra.Pipeline.coverages = rb.Pipeline.coverages
+               && Dpcore.Report.top_patterns ra.Pipeline.mining.Mining.patterns
+                    ~n:max_int
+                  = Dpcore.Report.top_patterns rb.Pipeline.mining.Mining.patterns
+                      ~n:max_int)
+             all base_all)
+      runs
+  in
+  let t =
+    Table.create ~title:"Scenario fan-out + impact analysis, by domain count"
+      [ ("domains", Table.Right); ("time", Table.Right); ("speedup", Table.Right) ]
+  in
+  List.iter
+    (fun (domains, seconds, _) ->
+      Table.add_row t
+        [
+          string_of_int domains;
+          Printf.sprintf "%.2fs" seconds;
+          Printf.sprintf "%.2fx" (base_seconds /. seconds);
+        ])
+    runs;
+  Table.print t;
+  Printf.printf
+    "results identical across domain counts: %s (hardware reports %d core(s))\n"
+    (if identical then "yes" else "NO - DETERMINISM VIOLATION")
+    recommended;
+  let oc = open_out "BENCH_parallel.json" in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"parallel-scaling\",\n  \"corpus_scale\": %g,\n  \
+     \"seed\": %d,\n  \"recommended_domains\": %d,\n  \"identical_results\": \
+     %b,\n  \"results\": [\n%s\n  ]\n}\n"
+    scale seed recommended identical
+    (String.concat ",\n"
+       (List.map
+          (fun (domains, seconds, _) ->
+            Printf.sprintf
+              "    { \"domains\": %d, \"seconds\": %.3f, \"speedup\": %.3f }"
+              domains seconds
+              (base_seconds /. seconds))
+          runs));
+  close_out oc;
+  print_endline "wrote BENCH_parallel.json"
 
 (* --- Bechamel micro-benchmarks of the analysis kernels --- *)
 
@@ -559,5 +652,7 @@ let () =
   a2 ();
   a3 ();
   r1 ();
+  parallel_scaling ();
   micro ();
+  Dppar.Pool.shutdown bench_pool;
   print_endline "\nbench complete."

@@ -57,6 +57,20 @@ let components_of pats =
   | [ "*.sys" ] -> Dpcore.Component.drivers
   | pats -> Dpcore.Component.of_patterns pats
 
+let domains_arg =
+  let doc =
+    "Analysis parallelism: the number of domains (cores) the analysis \
+     fans out over. 0 selects the default — the DRIVEPERF_DOMAINS \
+     environment variable when set, otherwise the recommended domain \
+     count of the machine. Results are identical for every value."
+  in
+  Arg.(value & opt int 0 & info [ "j"; "domains" ] ~docv:"N" ~doc)
+
+(* Run [f pool] with a pool of [j] domains (0 = auto), shut down after. *)
+let with_cli_pool j f =
+  let domains = if j <= 0 then Dppar.Pool.default_domains () else j in
+  Dppar.Pool.with_pool ~domains f
+
 (* --- generate --- *)
 
 let generate seed scale out =
@@ -81,14 +95,16 @@ let generate_cmd =
 
 (* --- impact --- *)
 
-let impact corpus pats breakdown per_scenario =
+let impact corpus pats breakdown per_scenario j =
   let corpus = read_corpus corpus in
   let components = components_of pats in
-  let r = Dpcore.Pipeline.run_impact components corpus in
+  with_cli_pool j @@ fun pool ->
+  let r = Dpcore.Pipeline.run_impact ~pool components corpus in
   Dputil.Table.print (Dpcore.Report.impact_summary r);
   if breakdown then begin
     let graphs =
-      Dpcore.Pipeline.build_graphs corpus (Dptrace.Corpus.all_instances corpus)
+      Dpcore.Pipeline.build_graphs ~pool corpus
+        (Dptrace.Corpus.all_instances corpus)
     in
     print_newline ();
     Dputil.Table.print
@@ -98,7 +114,7 @@ let impact corpus pats breakdown per_scenario =
     print_newline ();
     Dputil.Table.print
       (Dpcore.Report.scenario_impacts
-         (Dpcore.Pipeline.impact_per_scenario components corpus))
+         (Dpcore.Pipeline.impact_per_scenario ~pool components corpus))
   end;
   0
 
@@ -116,14 +132,17 @@ let impact_cmd =
   in
   Cmd.v
     (Cmd.info "impact" ~doc:"Impact analysis (Section 3)")
-    Term.(const impact $ corpus_arg $ components_arg $ breakdown $ per_scenario)
+    Term.(
+      const impact $ corpus_arg $ components_arg $ breakdown $ per_scenario
+      $ domains_arg)
 
 (* --- causality --- *)
 
-let causality corpus pats scenario k top =
+let causality corpus pats scenario k top j =
   let corpus = read_corpus corpus in
   let components = components_of pats in
-  let r = Dpcore.Pipeline.run_scenario ~k components corpus scenario in
+  with_cli_pool j @@ fun pool ->
+  let r = Dpcore.Pipeline.run_scenario ~pool ~k components corpus scenario in
   let f, m, s = Dpcore.Classify.counts r.Dpcore.Pipeline.classification in
   Format.printf "scenario %s: %d instances (fast %d / middle %d / slow %d)@."
     scenario (f + m + s) f m s;
@@ -175,23 +194,27 @@ let causality_cmd =
   in
   Cmd.v
     (Cmd.info "causality" ~doc:"Causality analysis (Section 4)")
-    Term.(const causality $ corpus_arg $ components_arg $ scenario $ k $ top)
+    Term.(
+      const causality $ corpus_arg $ components_arg $ scenario $ k $ top
+      $ domains_arg)
 
 (* --- report --- *)
 
-let report corpus =
+let report corpus j =
   let corpus = read_corpus corpus in
   let components = Dpcore.Component.drivers in
+  with_cli_pool j @@ fun pool ->
   Dputil.Table.print
-    (Dpcore.Report.impact_summary (Dpcore.Pipeline.run_impact components corpus));
+    (Dpcore.Report.impact_summary
+       (Dpcore.Pipeline.run_impact ~pool components corpus));
   let named =
-    List.filter_map
-      (fun (tpl : Dpworkload.Scenarios.template) ->
-        let name = tpl.Dpworkload.Scenarios.spec.Dptrace.Scenario.name in
-        match Dpcore.Pipeline.run_scenario components corpus name with
-        | r -> Some (name, r)
-        | exception Not_found -> None)
-      Dpworkload.Scenarios.named
+    Dpcore.Pipeline.run_all ~pool
+      ~scenarios:
+        (List.map
+           (fun (tpl : Dpworkload.Scenarios.template) ->
+             tpl.Dpworkload.Scenarios.spec.Dptrace.Scenario.name)
+           Dpworkload.Scenarios.named)
+      components corpus
   in
   let classes = List.map (fun (n, r) -> (n, r.Dpcore.Pipeline.classification)) named in
   print_newline ();
@@ -210,7 +233,7 @@ let report corpus =
 let report_cmd =
   Cmd.v
     (Cmd.info "report" ~doc:"Regenerate the paper's tables")
-    Term.(const report $ corpus_arg)
+    Term.(const report $ corpus_arg $ domains_arg)
 
 (* --- case --- *)
 
@@ -558,9 +581,10 @@ let timeline_cmd =
 
 (* --- analyze: the one-shot full report --- *)
 
-let analyze corpus_path out top_patterns_n =
+let analyze corpus_path out top_patterns_n j =
   let corpus = read_corpus corpus_path in
   let components = Dpcore.Component.drivers in
+  with_cli_pool j @@ fun pool ->
   let buf = Buffer.create 65536 in
   let line fmt = Format.kasprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
   let block text =
@@ -580,9 +604,13 @@ let analyze corpus_path out top_patterns_n =
   block (Dptrace.Corpus_stats.render (Dptrace.Corpus_stats.compute corpus));
   line "## Impact analysis (device drivers)";
   line "";
-  block (Dputil.Table.render (Dpcore.Report.impact_summary (Dpcore.Pipeline.run_impact components corpus)));
+  block
+    (Dputil.Table.render
+       (Dpcore.Report.impact_summary
+          (Dpcore.Pipeline.run_impact ~pool components corpus)));
   let graphs =
-    Dpcore.Pipeline.build_graphs corpus (Dptrace.Corpus.all_instances corpus)
+    Dpcore.Pipeline.build_graphs ~pool corpus
+      (Dptrace.Corpus.all_instances corpus)
   in
   block
     (Dputil.Table.render
@@ -590,19 +618,16 @@ let analyze corpus_path out top_patterns_n =
   block
     (Dputil.Table.render
        (Dpcore.Report.scenario_impacts
-          (Dpcore.Pipeline.impact_per_scenario components corpus)));
+          (Dpcore.Pipeline.impact_per_scenario ~pool components corpus)));
   line "### Robustness";
   line "";
   block
     (Format.asprintf "%a" Dpcore.Robustness.pp
-       (Dpcore.Robustness.bootstrap components corpus));
+       (Dpcore.Robustness.bootstrap ~pool components corpus));
   line "## Causality analysis";
   (* Analyse every scenario with a spec and both classes non-empty. *)
   List.iter
-    (fun name ->
-      match Dpcore.Pipeline.run_scenario components corpus name with
-      | exception Not_found -> ()
-      | r ->
+    (fun (name, (r : Dpcore.Pipeline.scenario_result)) ->
         let f, m, sl = Dpcore.Classify.counts r.Dpcore.Pipeline.classification in
         if f > 0 && sl > 0 then begin
           line "";
@@ -633,7 +658,7 @@ let analyze corpus_path out top_patterns_n =
             | [] -> ())
           | [] -> ()
         end)
-    (Dptrace.Corpus.scenario_names corpus);
+    (Dpcore.Pipeline.run_all ~pool components corpus);
   line "## What conventional tools would report";
   line "";
   let cg = Dpbaseline.Callgraph.profile corpus in
@@ -672,7 +697,7 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Produce the full analyst report (impact + causality + witnesses)")
-    Term.(const analyze $ corpus_arg $ out $ top)
+    Term.(const analyze $ corpus_arg $ out $ top $ domains_arg)
 
 let main_cmd =
   let doc = "trace-based performance comprehension for device drivers" in

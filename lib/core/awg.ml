@@ -88,13 +88,22 @@ let rec merge_into table (c : cnode) =
 let is_hw_leaf n =
   match n.status with Hw _ -> Hashtbl.length n.children = 0 | _ -> false
 
+(* Hashtbl bindings in sorted-status order. Statuses are the (distinct)
+   keys, so the sort is a total order and every fold/merge that walks a
+   level through here is independent of hash-table insertion order —
+   which is what keeps traversals identical however the source graphs
+   were partitioned for parallel construction. *)
+let sorted_bindings table =
+  Hashtbl.fold (fun status n acc -> (status, n) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
 (* Prune root waiting nodes whose only child is a hardware-service leaf:
    raw hardware latency with no propagation is not actionable. *)
 let reduce_forest forest =
   let pruned_roots = ref 0 and pruned_cost = ref 0 and total = ref 0 in
   let victims = ref [] in
-  Hashtbl.iter
-    (fun status n ->
+  List.iter
+    (fun (status, n) ->
       total := !total + n.cost;
       match n.status with
       | Waiting _ when Hashtbl.length n.children = 1 ->
@@ -106,7 +115,7 @@ let reduce_forest forest =
           victims := status :: !victims
         | Some _ | None -> ())
       | Waiting _ | Running _ | Hw _ -> ())
-    forest;
+    (sorted_bindings forest);
   List.iter (Hashtbl.remove forest) !victims;
   {
     pruned_roots = !pruned_roots;
@@ -114,11 +123,18 @@ let reduce_forest forest =
     total_root_cost = !total;
   }
 
-let build ?(reduce = true) components graphs =
+let build ?pool ?(reduce = true) components graphs =
+  (* Per-graph conversion is pure and dominates the build; fan it out.
+     The merge stays sequential in the given graph order, so the forest —
+     keyed by status, with commutative cost/count/max accumulation — is
+     identical whether the conversions ran on one domain or eight. *)
+  let converted =
+    match pool with
+    | Some pool -> Dppar.Pool.parallel_map pool (convert components) graphs
+    | None -> List.map (convert components) graphs
+  in
   let forest : (status, node) Hashtbl.t = Hashtbl.create 64 in
-  List.iter
-    (fun g -> List.iter (merge_into forest) (convert components g))
-    graphs;
+  List.iter (List.iter (merge_into forest)) converted;
   let stats =
     if reduce then reduce_forest forest
     else

@@ -46,9 +46,18 @@ type reduction_stats = {
 
 type t
 
-val build : ?reduce:bool -> Component.t -> Dpwaitgraph.Wait_graph.t list -> t
+val build :
+  ?pool:Dppar.Pool.t ->
+  ?reduce:bool ->
+  Component.t ->
+  Dpwaitgraph.Wait_graph.t list ->
+  t
 (** Aggregate the given Wait Graphs. [reduce] (default [true]) applies the
-    non-optimisable-portion pruning. *)
+    non-optimisable-portion pruning. [pool] parallelises the per-graph
+    conversion step; the merge itself is sequential in list order and all
+    traversals iterate children in sorted-status order, so the result does
+    not depend on scheduling — [build ?pool] is bit-identical to the
+    sequential build. *)
 
 val roots : t -> node list
 (** Deterministically ordered (by status). *)

@@ -82,18 +82,9 @@ let best_match components (pattern : Mining.pattern) (g : WG.t) =
 
 let witnesses ?(limit = 5) components corpus ~scenario ~pattern () =
   let entries = Dptrace.Corpus.instances_of corpus scenario in
-  let indexes : (int, Dptrace.Stream.index) Hashtbl.t = Hashtbl.create 16 in
-  let index_of (st : Dptrace.Stream.t) =
-    match Hashtbl.find_opt indexes st.Dptrace.Stream.id with
-    | Some i -> i
-    | None ->
-      let i = Dptrace.Stream.index st in
-      Hashtbl.replace indexes st.Dptrace.Stream.id i;
-      i
-  in
   List.filter_map
     (fun (st, inst) ->
-      let g = WG.build ~index:(index_of st) st inst in
+      let g = WG.build ~index:(Dptrace.Stream.shared_index st) st inst in
       match best_match components pattern g with
       | Some (matched_cost, path) when matched_cost > 0 ->
         Some

@@ -72,23 +72,6 @@ let analyze_graphs components graphs =
   let d_waitdist = Hashtbl.fold (fun _ cost total -> total + cost) distinct 0 in
   { !acc with d_waitdist }
 
-let analyze components (corpus : Dptrace.Corpus.t) =
-  let graphs =
-    List.concat_map
-      (fun (st : Dptrace.Stream.t) ->
-        let index = Dptrace.Stream.index st in
-        List.map (Wait_graph.build ~index st) st.Dptrace.Stream.instances)
-      corpus.Dptrace.Corpus.streams
-  in
-  analyze_graphs components graphs
-
-let fdiv a b = Dputil.Stats.ratio (float_of_int a) (float_of_int b)
-
-let ia_run r = fdiv r.d_run r.d_scn
-let ia_wait r = fdiv r.d_wait r.d_scn
-let ia_opt r = fdiv (r.d_wait - r.d_waitdist) r.d_scn
-let propagation_ratio r = fdiv r.d_wait r.d_waitdist
-
 let merge a b =
   {
     d_scn = a.d_scn + b.d_scn;
@@ -99,6 +82,35 @@ let merge a b =
     counted_waits = a.counted_waits + b.counted_waits;
     counted_runs = a.counted_runs + b.counted_runs;
   }
+
+let analyze_stream components (st : Dptrace.Stream.t) =
+  let index = Dptrace.Stream.shared_index st in
+  analyze_graphs components
+    (List.map (Wait_graph.build ~index st) st.Dptrace.Stream.instances)
+
+let analyze ?pool components (corpus : Dptrace.Corpus.t) =
+  (* One partial result per stream, merged in stream order. The
+     distinct-wait deduplication never crosses streams (keys carry the
+     stream id), and every field merges by integer addition, so the
+     per-stream reduction is exact — parallel and sequential runs produce
+     the same integers, hence the same derived floats. *)
+  let streams = corpus.Dptrace.Corpus.streams in
+  match pool with
+  | Some pool ->
+    Dppar.Pool.parallel_map_reduce pool
+      ~map:(analyze_stream components)
+      ~reduce:merge ~init:empty streams
+  | None ->
+    List.fold_left
+      (fun acc st -> merge acc (analyze_stream components st))
+      empty streams
+
+let fdiv a b = Dputil.Stats.ratio (float_of_int a) (float_of_int b)
+
+let ia_run r = fdiv r.d_run r.d_scn
+let ia_wait r = fdiv r.d_wait r.d_scn
+let ia_opt r = fdiv (r.d_wait - r.d_waitdist) r.d_scn
+let propagation_ratio r = fdiv r.d_wait r.d_waitdist
 
 type module_row = {
   module_name : string;

@@ -36,8 +36,13 @@ val analyze_graphs : Component.t -> Dpwaitgraph.Wait_graph.t list -> result
     share event identities, which {!Dpwaitgraph.Wait_graph.build}
     guarantees). *)
 
-val analyze : Component.t -> Dptrace.Corpus.t -> result
-(** Build the Wait Graph of every instance in the corpus and measure. *)
+val analyze : ?pool:Dppar.Pool.t -> Component.t -> Dptrace.Corpus.t -> result
+(** Build the Wait Graph of every instance in the corpus and measure.
+    Computed as one partial {!result} per stream — each stream's memoised
+    {!Dptrace.Stream.shared_index} is built at most once — {!merge}d in
+    stream order. [pool] fans the per-stream work across domains; the
+    reduction is associative over disjoint streams, so the parallel result
+    is bit-identical to the sequential one. *)
 
 val ia_run : result -> float
 (** Fraction in [\[0,1\]]. *)

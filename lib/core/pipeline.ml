@@ -9,28 +9,55 @@ type scenario_result = {
   coverages : Evaluation.coverages;
 }
 
-let build_graphs _corpus entries =
-  (* One index per stream, shared by all of that stream's instances. *)
-  let indexes : (int, Dptrace.Stream.index) Hashtbl.t = Hashtbl.create 16 in
-  let index_of (st : Dptrace.Stream.t) =
-    match Hashtbl.find_opt indexes st.Dptrace.Stream.id with
-    | Some idx -> idx
-    | None ->
-      let idx = Dptrace.Stream.index st in
-      Hashtbl.replace indexes st.Dptrace.Stream.id idx;
-      idx
-  in
-  List.map
-    (fun (st, inst) -> Wait_graph.build ~index:(index_of st) st inst)
-    entries
+let build_graphs ?pool _corpus entries =
+  (* Group the instances by stream — each group resolves the stream's
+     memoised index exactly once (Dptrace.Stream.shared_index), whether
+     the groups run on one domain or many — then restore the caller's
+     entry order, so the parallel build returns the very same list the
+     sequential one does. *)
+  match entries with
+  | [] -> []
+  | entries ->
+    let groups_tbl :
+        (int, (int * Dptrace.Scenario.instance) list ref) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    let order = ref [] in
+    List.iteri
+      (fun pos ((st : Dptrace.Stream.t), inst) ->
+        match Hashtbl.find_opt groups_tbl st.Dptrace.Stream.id with
+        | Some items -> items := (pos, inst) :: !items
+        | None ->
+          let items = ref [ (pos, inst) ] in
+          Hashtbl.replace groups_tbl st.Dptrace.Stream.id items;
+          order := (st, items) :: !order)
+      entries;
+    let groups =
+      List.rev_map (fun (st, items) -> (st, List.rev !items)) !order
+      |> List.rev
+    in
+    let build_group ((st : Dptrace.Stream.t), items) =
+      let index = Dptrace.Stream.shared_index st in
+      List.map (fun (pos, inst) -> (pos, Wait_graph.build ~index st inst)) items
+    in
+    let built =
+      match pool with
+      | Some pool -> Dppar.Pool.parallel_map ~chunk:1 pool build_group groups
+      | None -> List.map build_group groups
+    in
+    let out = Array.make (List.length entries) None in
+    List.iter (List.iter (fun (pos, g) -> out.(pos) <- Some g)) built;
+    Array.to_list out
+    |> List.map (function Some g -> g | None -> assert false)
 
-let run_scenario ?(k = Mining.default_k) ?(reduce = true) components corpus name =
+let run_scenario ?pool ?(k = Mining.default_k) ?(reduce = true) components
+    corpus name =
   let classification = Classify.classify corpus name in
-  let fast_graphs = build_graphs corpus classification.Classify.fast in
-  let slow_graphs = build_graphs corpus classification.Classify.slow in
+  let fast_graphs = build_graphs ?pool corpus classification.Classify.fast in
+  let slow_graphs = build_graphs ?pool corpus classification.Classify.slow in
   let slow_impact = Impact.analyze_graphs components slow_graphs in
-  let fast_awg = Awg.build ~reduce components fast_graphs in
-  let slow_awg = Awg.build ~reduce components slow_graphs in
+  let fast_awg = Awg.build ?pool ~reduce components fast_graphs in
+  let slow_awg = Awg.build ?pool ~reduce components slow_graphs in
   let mining =
     Mining.mine ~k ~fast:fast_awg ~slow:slow_awg
       ~spec:classification.Classify.spec ()
@@ -48,18 +75,43 @@ let run_scenario ?(k = Mining.default_k) ?(reduce = true) components corpus name
   in
   { classification; slow_impact; fast_awg; slow_awg; mining; coverages }
 
-let run_impact components corpus = Impact.analyze components corpus
+let run_impact ?pool components corpus = Impact.analyze ?pool components corpus
 
-let impact_per_scenario components corpus =
-  List.map
-    (fun name ->
-      let graphs = build_graphs corpus (Dptrace.Corpus.instances_of corpus name) in
-      (name, Impact.analyze_graphs components graphs))
-    (Dptrace.Corpus.scenario_names corpus)
+let impact_per_scenario ?pool components corpus =
+  (* Scenario-level fan-out; graph building inside each scenario stays
+     sequential (one unit of work per worker, no nested parallelism). The
+     final order is fixed by the sort below, never by completion order. *)
+  let impact_of name =
+    let graphs = build_graphs corpus (Dptrace.Corpus.instances_of corpus name) in
+    (name, Impact.analyze_graphs components graphs)
+  in
+  let names = Dptrace.Corpus.scenario_names corpus in
+  (match pool with
+  | Some pool -> Dppar.Pool.parallel_map ~chunk:1 pool impact_of names
+  | None -> List.map impact_of names)
   |> List.sort (fun (na, (a : Impact.result)) (nb, (b : Impact.result)) ->
          match compare b.Impact.d_wait a.Impact.d_wait with
          | 0 -> compare na nb
          | c -> c)
+
+let run_all ?pool ?k ?reduce ?scenarios components corpus =
+  let names =
+    match scenarios with
+    | Some names -> names
+    | None -> Dptrace.Corpus.scenario_names corpus
+  in
+  (* One scenario per work item; run_scenario itself runs sequentially in
+     the worker. Results are merged by the scenario-name order of [names],
+     not completion order. *)
+  let one name =
+    match run_scenario ?k ?reduce components corpus name with
+    | r -> Some (name, r)
+    | exception Not_found -> None
+  in
+  (match pool with
+  | Some pool -> Dppar.Pool.parallel_map ~chunk:1 pool one names
+  | None -> List.map one names)
+  |> List.filter_map Fun.id
 
 let driver_cost_fraction r =
   (* Distinct driver time over slow-class scenario time: the paper's

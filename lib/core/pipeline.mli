@@ -1,9 +1,18 @@
 (** End-to-end orchestration: corpus → impact analysis and per-scenario
     causality analysis.
 
-    Wait Graphs are built once per scenario instance (sharing one stream
-    index per stream) and reused across the classification, the per-class
-    impact measurement and the AWG aggregation. *)
+    Wait Graphs are built once per scenario instance (sharing one
+    memoised index per stream, corpus-wide — see
+    {!Dptrace.Stream.shared_index}) and reused across the classification,
+    the per-class impact measurement and the AWG aggregation.
+
+    Every entry point takes an optional [?pool] (a {!Dppar.Pool.t}); when
+    given, independent units of work — streams within {!build_graphs} and
+    {!run_impact}, scenarios within {!run_all} and
+    {!impact_per_scenario} — fan out across its domains. Parallel results
+    are {e bit-identical} to sequential ones: work is only split along
+    independence boundaries, results are merged in input order (never
+    completion order), and reductions run in a fixed association. *)
 
 type scenario_result = {
   classification : Classify.t;
@@ -16,12 +25,17 @@ type scenario_result = {
 }
 
 val build_graphs :
+  ?pool:Dppar.Pool.t ->
   Dptrace.Corpus.t ->
   (Dptrace.Stream.t * Dptrace.Scenario.instance) list ->
   Dpwaitgraph.Wait_graph.t list
-(** Build Wait Graphs for the given instances, sharing stream indexes. *)
+(** Build Wait Graphs for the given instances, sharing stream indexes.
+    With [pool], instances are grouped by stream and the groups build in
+    parallel (one index resolution per stream); the returned list is in
+    the input entry order either way. *)
 
 val run_scenario :
+  ?pool:Dppar.Pool.t ->
   ?k:int ->
   ?reduce:bool ->
   Component.t ->
@@ -31,14 +45,33 @@ val run_scenario :
 (** Classify the scenario's instances, aggregate both contrast classes,
     mine contrast patterns and compute coverages. [k] defaults to
     {!Mining.default_k}; [reduce] (default [true]) controls the AWG
-    non-optimisable-portion reduction.
+    non-optimisable-portion reduction. [pool] parallelises graph building
+    and AWG conversion within the scenario.
     @raise Not_found if the corpus has no spec for the scenario. *)
 
-val run_impact : Component.t -> Dptrace.Corpus.t -> Impact.result
-(** Whole-corpus impact analysis (Section 5.1). *)
+val run_all :
+  ?pool:Dppar.Pool.t ->
+  ?k:int ->
+  ?reduce:bool ->
+  ?scenarios:string list ->
+  Component.t ->
+  Dptrace.Corpus.t ->
+  (string * scenario_result) list
+(** {!run_scenario} over [scenarios] (default: every scenario name in the
+    corpus), skipping names without a spec. With [pool], scenarios fan
+    out across domains — one scenario per work item — and the result list
+    follows the order of [scenarios] regardless of completion order. *)
+
+val run_impact :
+  ?pool:Dppar.Pool.t -> Component.t -> Dptrace.Corpus.t -> Impact.result
+(** Whole-corpus impact analysis (Section 5.1). [pool] fans the
+    per-stream measurement out across domains (see {!Impact.analyze}). *)
 
 val impact_per_scenario :
-  Component.t -> Dptrace.Corpus.t -> (string * Impact.result) list
+  ?pool:Dppar.Pool.t ->
+  Component.t ->
+  Dptrace.Corpus.t ->
+  (string * Impact.result) list
 (** The impact metrics measured separately over each scenario's instances
     (Section 3: "performance analysts can narrow down the investigation
     scope"). Sorted by [d_wait], descending. The per-scenario results sum

@@ -10,15 +10,17 @@ type t = {
   replicates : int;
 }
 
-let per_stream_results components (corpus : Dptrace.Corpus.t) =
-  List.map
-    (fun (st : Dptrace.Stream.t) ->
-      let index = Dptrace.Stream.index st in
-      let graphs =
-        List.map (Wait_graph.build ~index st) st.Dptrace.Stream.instances
-      in
-      Impact.analyze_graphs components graphs)
-    corpus.Dptrace.Corpus.streams
+let per_stream_results ?pool components (corpus : Dptrace.Corpus.t) =
+  let measure (st : Dptrace.Stream.t) =
+    let index = Dptrace.Stream.shared_index st in
+    let graphs =
+      List.map (Wait_graph.build ~index st) st.Dptrace.Stream.instances
+    in
+    Impact.analyze_graphs components graphs
+  in
+  match pool with
+  | Some pool -> Dppar.Pool.parallel_map pool measure corpus.Dptrace.Corpus.streams
+  | None -> List.map measure corpus.Dptrace.Corpus.streams
 
 let merge_all = function
   | [] ->
@@ -33,8 +35,8 @@ let ci_of point samples =
     hi = Dputil.Stats.percentile samples 97.5;
   }
 
-let bootstrap ?(replicates = 200) ?(seed = 1) components corpus =
-  let per_stream = Array.of_list (per_stream_results components corpus) in
+let bootstrap ?pool ?(replicates = 200) ?(seed = 1) components corpus =
+  let per_stream = Array.of_list (per_stream_results ?pool components corpus) in
   let n = Array.length per_stream in
   let full = merge_all (Array.to_list per_stream) in
   let prng = Dputil.Prng.of_int seed in

@@ -24,9 +24,16 @@ type t = {
 }
 
 val bootstrap :
-  ?replicates:int -> ?seed:int -> Component.t -> Dptrace.Corpus.t -> t
+  ?pool:Dppar.Pool.t ->
+  ?replicates:int ->
+  ?seed:int ->
+  Component.t ->
+  Dptrace.Corpus.t ->
+  t
 (** [replicates] defaults to 200; [seed] (default 1) makes the resampling
-    deterministic. IA metrics are expressed as fractions in [\[0,1\]].
+    deterministic. [pool] parallelises the per-stream measurement (the
+    replicate merges are cheap and stay sequential, so results are
+    identical with and without it). IA metrics are expressed as fractions in [\[0,1\]].
     With an empty corpus every interval degenerates to 0. *)
 
 val pp : Format.formatter -> t -> unit

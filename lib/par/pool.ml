@@ -1,0 +1,166 @@
+(* One shared FIFO of tasks, one mutex, one condition variable. The
+   condition is broadcast on every state change a sleeper could be waiting
+   for (task enqueued, task completed, shutdown requested); sleepers
+   re-check their predicate, so spurious and cross-purpose wakeups are
+   harmless. Workers never hold the mutex while running a task. *)
+
+type t = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t array;
+  size : int;
+}
+
+let default_domains () =
+  match Sys.getenv_opt "DRIVEPERF_DOMAINS" with
+  | Some s when (match int_of_string_opt (String.trim s) with
+                | Some n -> n >= 1
+                | None -> false) ->
+    int_of_string (String.trim s)
+  | Some _ | None -> Domain.recommended_domain_count ()
+
+let rec worker t =
+  Mutex.lock t.mutex;
+  let rec next () =
+    if t.stopping then begin
+      Mutex.unlock t.mutex;
+      None
+    end
+    else
+      match Queue.take_opt t.queue with
+      | Some task ->
+        Mutex.unlock t.mutex;
+        Some task
+      | None ->
+        Condition.wait t.cond t.mutex;
+        next ()
+  in
+  match next () with
+  | None -> ()
+  | Some task ->
+    task ();
+    worker t
+
+let create ?domains () =
+  let size =
+    max 1 (match domains with Some n -> n | None -> default_domains ())
+  in
+  let t =
+    {
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      workers = [||];
+      size;
+    }
+  in
+  t.workers <- Array.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let size t = t.size
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if t.stopping then Mutex.unlock t.mutex
+  else begin
+    t.stopping <- true;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mutex;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* Split [lst] into consecutive chunks of [chunk] elements (the last chunk
+   may be shorter). *)
+let chunks_of ~chunk lst =
+  let rec go acc cur n = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+      if n = chunk then go (List.rev cur :: acc) [ x ] 1 rest
+      else go acc (x :: cur) (n + 1) rest
+  in
+  go [] [] 0 lst
+
+let resolve_chunk t chunk n =
+  match chunk with
+  | Some c when c >= 1 -> c
+  | Some c -> invalid_arg (Printf.sprintf "Dppar.Pool: chunk %d < 1" c)
+  | None ->
+    (* ~4 chunks per unit of parallelism smooths imbalanced item costs. *)
+    let target = t.size * 4 in
+    max 1 ((n + target - 1) / target)
+
+(* Run every thunk of [jobs], each at most once, on whichever domain gets
+   to it first; the caller helps drain the queue, then sleeps until its
+   last in-flight thunk completes. Results come back in index order; the
+   earliest-index exception is re-raised. *)
+let run_jobs : 'b. t -> (unit -> 'b) array -> 'b array =
+  fun t jobs ->
+  let n = Array.length jobs in
+  let results = Array.make n None in
+  let errors = Array.make n None in
+  let remaining = ref n in
+  let task i () =
+    (* Distinct domains write distinct slots, and every slot is written
+       before the final [remaining] decrement is observed under the
+       mutex, so the caller reads fully published values. *)
+    (match jobs.(i) () with
+    | r -> results.(i) <- Some r
+    | exception e -> errors.(i) <- Some e);
+    Mutex.lock t.mutex;
+    decr remaining;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mutex
+  in
+  Mutex.lock t.mutex;
+  for i = 0 to n - 1 do
+    Queue.add (task i) t.queue
+  done;
+  Condition.broadcast t.cond;
+  let rec drain () =
+    match Queue.take_opt t.queue with
+    | Some task ->
+      Mutex.unlock t.mutex;
+      task ();
+      Mutex.lock t.mutex;
+      drain ()
+    | None ->
+      if !remaining > 0 then begin
+        Condition.wait t.cond t.mutex;
+        drain ()
+      end
+  in
+  drain ();
+  Mutex.unlock t.mutex;
+  Array.iter (function Some e -> raise e | None -> ()) errors;
+  Array.map (function Some r -> r | None -> assert false) results
+
+let parallel_map ?chunk t f lst =
+  let n = List.length lst in
+  let chunk = resolve_chunk t chunk n in
+  if t.size <= 1 || n <= chunk then List.map f lst
+  else
+    let chunks = Array.of_list (chunks_of ~chunk lst) in
+    let jobs = Array.map (fun items () -> List.map f items) chunks in
+    run_jobs t jobs |> Array.to_list |> List.concat
+
+let parallel_map_reduce ?chunk t ~map ~reduce ~init lst =
+  match lst with
+  | [] -> init
+  | lst ->
+    let n = List.length lst in
+    let chunk = resolve_chunk t chunk n in
+    let partial = function
+      | [] -> assert false (* chunks_of never yields an empty chunk *)
+      | x :: rest -> List.fold_left (fun acc y -> reduce acc (map y)) (map x) rest
+    in
+    (* [~chunk:1]: the items are already chunks. *)
+    let partials = parallel_map ~chunk:1 t partial (chunks_of ~chunk lst) in
+    List.fold_left reduce init partials

@@ -1,8 +1,14 @@
+type index = {
+  by_tid : (int, Event.t array) Hashtbl.t;
+  unwaits_by_wtid : (int, Event.t array) Hashtbl.t;
+}
+
 type t = {
   id : int;
   events : Event.t array;
   instances : Scenario.instance list;
   threads : (int * string) list;
+  mutable memo_index : index option;
 }
 
 let create ~id ~events ~instances ~threads =
@@ -26,7 +32,7 @@ let create ~id ~events ~instances ~threads =
   let renumbered =
     Array.mapi (fun i (_, (e : Event.t)) -> { e with Event.id = i }) tagged
   in
-  { id; events = renumbered; instances; threads }
+  { id; events = renumbered; instances; threads; memo_index = None }
 
 let thread_name t tid =
   match List.assoc_opt tid t.threads with
@@ -42,11 +48,6 @@ let duration t =
   end
 
 let event_count t = Array.length t.events
-
-type index = {
-  by_tid : (int, Event.t array) Hashtbl.t;
-  unwaits_by_wtid : (int, Event.t array) Hashtbl.t;
-}
 
 let group_by key events =
   let acc : (int, Event.t list) Hashtbl.t = Hashtbl.create 64 in
@@ -71,6 +72,27 @@ let index t =
         (fun (e : Event.t) -> if Event.is_unwait e then Some e.wtid else None)
         t.events;
   }
+
+(* Protects [memo_index] publication across domains. Index construction
+   runs outside the lock: a race on the same stream at worst computes the
+   (pure, identical) index twice; the first store wins. *)
+let memo_mutex = Mutex.create ()
+
+let shared_index t =
+  match t.memo_index with
+  | Some idx -> idx
+  | None ->
+    let idx = index t in
+    Mutex.lock memo_mutex;
+    let idx =
+      match t.memo_index with
+      | Some existing -> existing
+      | None ->
+        t.memo_index <- Some idx;
+        idx
+    in
+    Mutex.unlock memo_mutex;
+    idx
 
 let events_of_thread idx tid =
   Option.value ~default:[||] (Hashtbl.find_opt idx.by_tid tid)

@@ -6,11 +6,16 @@
     [(stream id, event id)] identifies it within a corpus — the identity
     used by the distinct-wait deduplication of Section 3.2. *)
 
+type index
+(** Per-stream query index; see {!section-indexed} below. *)
+
 type t = private {
   id : int;
   events : Event.t array;  (** Sorted by [ts]; [events.(i).id = i]. *)
   instances : Scenario.instance list;
   threads : (int * string) list;  (** tid → human-readable thread name. *)
+  mutable memo_index : index option;
+      (** Memoised by {!shared_index}; never read directly. *)
 }
 
 val create :
@@ -30,14 +35,20 @@ val duration : t -> Dputil.Time.t
 
 val event_count : t -> int
 
-(** {1 Indexed queries}
+(** {1:indexed Indexed queries}
 
     An [index] is built once per stream and shared by all per-instance
     analyses of that stream. *)
 
-type index
-
 val index : t -> index
+(** Build a fresh index. Pure; prefer {!shared_index} unless the fresh
+    build is wanted (e.g. benchmarking the construction itself). *)
+
+val shared_index : t -> index
+(** The stream's memoised index: built on first use, then reused by every
+    later call on the same stream value — across scenarios, analysis
+    passes and domains (the memo is domain-safe). Corpus-scope analyses
+    that used to rebuild the index per call share one instead. *)
 
 val events_of_thread : index -> int -> Event.t array
 (** All events of a thread, timestamp-ordered ([| |] for unknown tids). *)
