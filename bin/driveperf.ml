@@ -13,24 +13,86 @@
      timeline    ASCII thread timeline of a stream
      anonymize   scrub names structure-preservingly
      import-etw  convert an xperf-style dump
+     convert     re-encode a corpus (upgrade v1 files to framed v2)
      diff        compare mined patterns across two corpora
      baseline    run the Section 6 baseline analyses
-     analyze     one-shot full analyst report *)
+     analyze     one-shot full analyst report
+
+   Corpus files are auto-detected by content (text v1 / binary v1 /
+   framed v2); extensions select the *output* format: .dpb binary v1,
+   .dpf framed v2, anything else text. *)
 
 open Cmdliner
 
 let is_binary_path path = Filename.check_suffix path ".dpb"
+let is_framed_path path = Filename.check_suffix path ".dpf"
 
-let load_corpus path =
-  if is_binary_path path then Dptrace.Codec_binary.load path
-  else Dptrace.Codec.load path
+type corpus_format = Text | Binary | Framed
 
-let save_corpus path corpus =
-  if is_binary_path path then Dptrace.Codec_binary.save path corpus
-  else Dptrace.Codec.save path corpus
+let format_name = function
+  | Text -> "text v1"
+  | Binary -> "binary v1"
+  | Framed -> "framed v2"
 
-let read_corpus = function
-  | Some path -> load_corpus path
+(* Input format is sniffed from the magic, not the extension: a renamed
+   file must not be mis-parsed. The extension is only the fallback for
+   unreadable/empty prefixes. *)
+let sniff_format path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  let buf = Bytes.create 7 in
+  let n = input ic buf 0 7 in
+  let prefix = Bytes.sub_string buf 0 n in
+  let starts p =
+    String.length prefix >= String.length p
+    && String.sub prefix 0 (String.length p) = p
+  in
+  if starts "DPTF" then Framed
+  else if starts "DPTB" then Binary
+  else if starts "dptrace" then Text
+  else if is_framed_path path then Framed
+  else if is_binary_path path then Binary
+  else Text
+
+let format_of_out path =
+  if is_binary_path path then Binary
+  else if is_framed_path path then Framed
+  else Text
+
+let load_corpus ?pool ~mode path =
+  try
+    match sniff_format path with
+    | Framed ->
+      let corpus, report = Dptrace.Codec_v2.load ~mode ?pool path in
+      if report.Dptrace.Codec_v2.dropped <> [] then begin
+        List.iter
+          (fun d ->
+            Format.eprintf "warning: %s: %a@." path Dptrace.Codec_v2.pp_diagnostic d)
+          report.Dptrace.Codec_v2.dropped;
+        Format.eprintf
+          "warning: %s: recovered %d stream(s) from %d frame(s), %d problem(s)@."
+          path report.Dptrace.Codec_v2.streams report.Dptrace.Codec_v2.frames
+          (List.length report.Dptrace.Codec_v2.dropped)
+      end;
+      corpus
+    | Binary -> Dptrace.Codec_binary.load path
+    | Text -> Dptrace.Codec.load path
+  with
+  | Dptrace.Codec_binary.Corrupt m ->
+    Format.eprintf "error: %s: corrupt corpus: %s@." path m;
+    exit 1
+  | Dptrace.Codec.Parse_error { line; message } ->
+    Format.eprintf "error: %s:%d: %s@." path line message;
+    exit 1
+
+let save_corpus ?pool path corpus =
+  match format_of_out path with
+  | Binary -> Dptrace.Codec_binary.save path corpus
+  | Framed -> Dptrace.Codec_v2.save ?pool path corpus
+  | Text -> Dptrace.Codec.save path corpus
+
+let read_corpus ?pool ~mode = function
+  | Some path -> load_corpus ?pool ~mode path
   | None ->
     Dpworkload.Corpus_gen.generate Dpworkload.Corpus_gen.default_config
 
@@ -59,12 +121,32 @@ let components_of pats =
 
 let domains_arg =
   let doc =
-    "Analysis parallelism: the number of domains (cores) the analysis \
-     fans out over. 0 selects the default — the DRIVEPERF_DOMAINS \
-     environment variable when set, otherwise the recommended domain \
-     count of the machine. Results are identical for every value."
+    "Analysis (and framed-v2 ingestion) parallelism: the number of \
+     domains (cores) the work fans out over. 0 selects the default — the \
+     DRIVEPERF_DOMAINS environment variable when set, otherwise the \
+     recommended domain count of the machine. Results are identical for \
+     every value."
   in
   Arg.(value & opt int 0 & info [ "j"; "domains" ] ~docv:"N" ~doc)
+
+let mode_arg =
+  let strict =
+    ( `Strict,
+      Arg.info [ "strict" ]
+        ~doc:
+          "Fail on any corpus corruption (default). A framed v2 load \
+           aborts on the first bad frame; v1 formats always behave this \
+           way." )
+  in
+  let recover =
+    ( `Recover,
+      Arg.info [ "recover" ]
+        ~doc:
+          "Recovery mode for framed v2 corpora: skip corrupt frames, \
+           load the surviving streams, and print per-frame diagnostics \
+           on stderr." )
+  in
+  Arg.(value & vflag `Strict [ strict; recover ])
 
 (* Run [f pool] with a pool of [j] domains (0 = auto), shut down after. *)
 let with_cli_pool j f =
@@ -79,7 +161,7 @@ let generate seed scale out =
   save_corpus out corpus;
   Format.printf "%a@.wrote %s (%s format)@." Dptrace.Corpus.pp_summary corpus
     out
-    (if is_binary_path out then "binary" else "text");
+    (format_name (format_of_out out));
   0
 
 let generate_cmd =
@@ -95,10 +177,10 @@ let generate_cmd =
 
 (* --- impact --- *)
 
-let impact corpus pats breakdown per_scenario j =
-  let corpus = read_corpus corpus in
+let impact corpus pats breakdown per_scenario j mode =
   let components = components_of pats in
   with_cli_pool j @@ fun pool ->
+  let corpus = read_corpus ~pool ~mode corpus in
   let r = Dpcore.Pipeline.run_impact ~pool components corpus in
   Dputil.Table.print (Dpcore.Report.impact_summary r);
   if breakdown then begin
@@ -134,14 +216,14 @@ let impact_cmd =
     (Cmd.info "impact" ~doc:"Impact analysis (Section 3)")
     Term.(
       const impact $ corpus_arg $ components_arg $ breakdown $ per_scenario
-      $ domains_arg)
+      $ domains_arg $ mode_arg)
 
 (* --- causality --- *)
 
-let causality corpus pats scenario k top j =
-  let corpus = read_corpus corpus in
+let causality corpus pats scenario k top j mode =
   let components = components_of pats in
   with_cli_pool j @@ fun pool ->
+  let corpus = read_corpus ~pool ~mode corpus in
   let r = Dpcore.Pipeline.run_scenario ~pool ~k components corpus scenario in
   let f, m, s = Dpcore.Classify.counts r.Dpcore.Pipeline.classification in
   Format.printf "scenario %s: %d instances (fast %d / middle %d / slow %d)@."
@@ -196,14 +278,14 @@ let causality_cmd =
     (Cmd.info "causality" ~doc:"Causality analysis (Section 4)")
     Term.(
       const causality $ corpus_arg $ components_arg $ scenario $ k $ top
-      $ domains_arg)
+      $ domains_arg $ mode_arg)
 
 (* --- report --- *)
 
-let report corpus j =
-  let corpus = read_corpus corpus in
+let report corpus j mode =
   let components = Dpcore.Component.drivers in
   with_cli_pool j @@ fun pool ->
+  let corpus = read_corpus ~pool ~mode corpus in
   Dputil.Table.print
     (Dpcore.Report.impact_summary
        (Dpcore.Pipeline.run_impact ~pool components corpus));
@@ -233,7 +315,7 @@ let report corpus j =
 let report_cmd =
   Cmd.v
     (Cmd.info "report" ~doc:"Regenerate the paper's tables")
-    Term.(const report $ corpus_arg $ domains_arg)
+    Term.(const report $ corpus_arg $ domains_arg $ mode_arg)
 
 (* --- case --- *)
 
@@ -269,8 +351,8 @@ let case_cmd =
 
 (* --- validate --- *)
 
-let validate corpus =
-  let corpus = read_corpus corpus in
+let validate corpus mode =
+  let corpus = read_corpus ~mode corpus in
   match Dptrace.Validate.check_corpus corpus with
   | [] ->
     Format.printf "%a@.OK: no violations@." Dptrace.Corpus.pp_summary corpus;
@@ -285,12 +367,12 @@ let validate corpus =
 let validate_cmd =
   Cmd.v
     (Cmd.info "validate" ~doc:"Structural checks over a corpus")
-    Term.(const validate $ corpus_arg)
+    Term.(const validate $ corpus_arg $ mode_arg)
 
 (* --- dot --- *)
 
-let dot corpus scenario out =
-  let corpus = read_corpus corpus in
+let dot corpus scenario out mode =
+  let corpus = read_corpus ~mode corpus in
   let r = Dpcore.Pipeline.run_scenario Dpcore.Component.drivers corpus scenario in
   let text = Dpcore.Awg.to_dot r.Dpcore.Pipeline.slow_awg in
   (match out with
@@ -314,12 +396,12 @@ let dot_cmd =
   in
   Cmd.v
     (Cmd.info "dot" ~doc:"Render a scenario's Aggregated Wait Graph as Graphviz")
-    Term.(const dot $ corpus_arg $ scenario $ out)
+    Term.(const dot $ corpus_arg $ scenario $ out $ mode_arg)
 
 (* --- anonymize --- *)
 
-let anonymize corpus out mapping_out keep_scenarios =
-  let corpus = read_corpus corpus in
+let anonymize corpus out mapping_out keep_scenarios mode =
+  let corpus = read_corpus ~mode corpus in
   let anonymised, mapping = Dptrace.Anonymize.corpus ~keep_scenarios corpus in
   save_corpus out anonymised;
   (match mapping_out with
@@ -350,7 +432,7 @@ let anonymize_cmd =
   in
   Cmd.v
     (Cmd.info "anonymize" ~doc:"Scrub driver/function/thread names from a corpus")
-    Term.(const anonymize $ corpus_arg $ out $ mapping $ keep)
+    Term.(const anonymize $ corpus_arg $ out $ mapping $ keep $ mode_arg)
 
 (* --- import-etw --- *)
 
@@ -402,10 +484,51 @@ let import_etw_cmd =
     (Cmd.info "import-etw" ~doc:"Convert an xperf-style dump to a corpus")
     Term.(const import_etw $ input $ out $ specs)
 
+(* --- convert --- *)
+
+let file_size path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  in_channel_length ic
+
+let convert input out j mode =
+  with_cli_pool j @@ fun pool ->
+  let in_format = sniff_format input in
+  let corpus = load_corpus ~pool ~mode input in
+  save_corpus ~pool out corpus;
+  Format.printf "%a@.%s (%s, %d bytes) -> %s (%s, %d bytes)@."
+    Dptrace.Corpus.pp_summary corpus input (format_name in_format)
+    (file_size input) out
+    (format_name (format_of_out out))
+    (file_size out);
+  0
+
+let convert_cmd =
+  let input =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"IN" ~doc:"Input corpus (any format, auto-detected).")
+  in
+  let out =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"OUT"
+          ~doc:
+            "Output path; the extension selects the format (.dpf framed \
+             v2, .dpb binary v1, anything else text v1).")
+  in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:"Re-encode a corpus (e.g. upgrade a v1 file to framed v2)")
+    Term.(const convert $ input $ out $ domains_arg $ mode_arg)
+
 (* --- diff --- *)
 
-let diff before after scenario threshold =
-  let before_c = load_corpus before and after_c = load_corpus after in
+let diff before after scenario threshold mode =
+  let before_c = load_corpus ~mode before
+  and after_c = load_corpus ~mode after in
   let run c = Dpcore.Pipeline.run_scenario Dpcore.Component.drivers c scenario in
   let rb = run before_c and ra = run after_c in
   let entries =
@@ -439,12 +562,12 @@ let diff_cmd =
   in
   Cmd.v
     (Cmd.info "diff" ~doc:"Compare mined patterns across two corpora")
-    Term.(const diff $ before $ after $ scenario $ threshold)
+    Term.(const diff $ before $ after $ scenario $ threshold $ mode_arg)
 
 (* --- baseline --- *)
 
-let baseline corpus =
-  let corpus = read_corpus corpus in
+let baseline corpus mode =
+  let corpus = read_corpus ~mode corpus in
   let cg = Dpbaseline.Callgraph.profile corpus in
   Format.printf "call-graph profile: total CPU %a, driver share %s@."
     Dputil.Time.pp
@@ -470,12 +593,12 @@ let baseline corpus =
 let baseline_cmd =
   Cmd.v
     (Cmd.info "baseline" ~doc:"Run the Section 6 baseline analyses")
-    Term.(const baseline $ corpus_arg)
+    Term.(const baseline $ corpus_arg $ mode_arg)
 
 (* --- witness --- *)
 
-let witness corpus scenario rank limit =
-  let corpus = read_corpus corpus in
+let witness corpus scenario rank limit mode =
+  let corpus = read_corpus ~mode corpus in
   let r = Dpcore.Pipeline.run_scenario Dpcore.Component.drivers corpus scenario in
   let patterns = r.Dpcore.Pipeline.mining.Dpcore.Mining.patterns in
   match List.nth_opt patterns (rank - 1) with
@@ -517,24 +640,24 @@ let witness_cmd =
   Cmd.v
     (Cmd.info "witness"
        ~doc:"Trace a mined pattern back to concrete scenario instances")
-    Term.(const witness $ corpus_arg $ scenario $ rank $ limit)
+    Term.(const witness $ corpus_arg $ scenario $ rank $ limit $ mode_arg)
 
 (* --- stats --- *)
 
-let stats corpus =
-  let corpus = read_corpus corpus in
+let stats corpus mode =
+  let corpus = read_corpus ~mode corpus in
   print_string (Dptrace.Corpus_stats.render (Dptrace.Corpus_stats.compute corpus));
   0
 
 let stats_cmd =
   Cmd.v
     (Cmd.info "stats" ~doc:"Descriptive statistics of a corpus")
-    Term.(const stats $ corpus_arg)
+    Term.(const stats $ corpus_arg $ mode_arg)
 
 (* --- timeline --- *)
 
-let timeline corpus stream_id instance_index width =
-  let corpus = read_corpus corpus in
+let timeline corpus stream_id instance_index width mode =
+  let corpus = read_corpus ~mode corpus in
   match
     List.find_opt
       (fun (st : Dptrace.Stream.t) -> st.Dptrace.Stream.id = stream_id)
@@ -577,14 +700,16 @@ let timeline_cmd =
   in
   Cmd.v
     (Cmd.info "timeline" ~doc:"ASCII thread timeline of a trace stream")
-    Term.(const timeline $ corpus_arg $ stream_id $ instance_index $ width)
+    Term.(
+      const timeline $ corpus_arg $ stream_id $ instance_index $ width
+      $ mode_arg)
 
 (* --- analyze: the one-shot full report --- *)
 
-let analyze corpus_path out top_patterns_n j =
-  let corpus = read_corpus corpus_path in
+let analyze corpus_path out top_patterns_n j mode =
   let components = Dpcore.Component.drivers in
   with_cli_pool j @@ fun pool ->
+  let corpus = read_corpus ~pool ~mode corpus_path in
   let buf = Buffer.create 65536 in
   let line fmt = Format.kasprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
   let block text =
@@ -697,7 +822,7 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Produce the full analyst report (impact + causality + witnesses)")
-    Term.(const analyze $ corpus_arg $ out $ top $ domains_arg)
+    Term.(const analyze $ corpus_arg $ out $ top $ domains_arg $ mode_arg)
 
 let main_cmd =
   let doc = "trace-based performance comprehension for device drivers" in
@@ -713,6 +838,7 @@ let main_cmd =
       dot_cmd;
       anonymize_cmd;
       import_etw_cmd;
+      convert_cmd;
       diff_cmd;
       baseline_cmd;
       stats_cmd;

@@ -16,7 +16,13 @@ let check_token what s =
 
 let buf_event buf (e : Event.t) =
   let frames =
-    Callstack.frames e.stack |> Array.to_list |> List.map Signature.name
+    Callstack.frames e.stack |> Array.to_list
+    |> List.map (fun s ->
+           let name = Signature.name s in
+           (* A signature with a blank would fail to parse on reload; one
+              with ';' would silently split into two frames. *)
+           check_token "frame signature" name;
+           name)
     |> String.concat ";"
   in
   let frames = if frames = "" then "-" else frames in
@@ -44,6 +50,7 @@ let corpus_to_string (c : Corpus.t) =
   Printf.bprintf buf "%s %d\n" magic version;
   List.iter
     (fun (s : Scenario.spec) ->
+      check_token "spec name" s.name;
       Printf.bprintf buf "spec %s %d %d\n" s.name s.tfast s.tslow)
     c.specs;
   List.iter (buf_stream buf) c.streams;
@@ -192,10 +199,13 @@ let corpus_of_string s =
         lines := rest;
         Some l)
 
+(* Binary mode both ways: text-mode channels translate line endings on
+   some platforms, breaking byte-exact round-trips (and checksums taken
+   over the file). The format itself is plain "\n"-separated text. *)
 let save path c =
-  let oc = open_out path in
+  let oc = open_out_bin path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_corpus oc c)
 
 let load path =
-  let ic = open_in path in
+  let ic = open_in_bin path in
   Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_corpus ic)

@@ -20,9 +20,10 @@
 exception Parse_error of { line : int; message : string }
 
 val write_corpus : out_channel -> Corpus.t -> unit
-(** @raise Invalid_argument if a thread or scenario name contains
-    whitespace or [';'] — such corpora cannot round-trip through the text
-    format (use {!Codec_binary}, or rename). *)
+(** @raise Invalid_argument if a thread, scenario or spec name, or a
+    callstack frame signature, contains whitespace or [';'] — such
+    corpora cannot round-trip through the text format (use
+    {!Codec_binary} or {!Codec_v2}, or rename). *)
 
 val read_corpus : in_channel -> Corpus.t
 (** @raise Parse_error on malformed input. *)

@@ -5,25 +5,70 @@ let corrupt fmt = Format.kasprintf (fun m -> raise (Corrupt m)) fmt
 let magic = "DPTB"
 let version = 1
 
-(* --- writer --- *)
+(* --- wire primitives, shared with the framed v2 codec --- *)
 
-let w8 buf v = Buffer.add_char buf (Char.chr (v land 0xff))
+module Wire = struct
+  let w8 buf v = Buffer.add_char buf (Char.chr (v land 0xff))
 
-(* Unsigned LEB128: 7 bits per byte, high bit = continuation. Most fields
-   (tids, stack depths, counts, costs in µs) are small; this is where the
-   size win over the text format comes from. *)
-let rec wv buf v =
-  if v < 0 then corrupt "cannot encode negative varint %d" v;
-  if v < 0x80 then w8 buf v
-  else begin
-    w8 buf (0x80 lor (v land 0x7f));
-    wv buf (v lsr 7)
-  end
+  (* Unsigned LEB128: 7 bits per byte, high bit = continuation. Most fields
+     (tids, stack depths, counts, costs in µs) are small; this is where the
+     size win over the text format comes from. *)
+  let rec wv buf v =
+    if v < 0 then corrupt "cannot encode negative varint %d" v;
+    if v < 0x80 then w8 buf v
+    else begin
+      w8 buf (0x80 lor (v land 0x7f));
+      wv buf (v lsr 7)
+    end
 
-let wstr buf s =
-  let n = String.length s in
-  wv buf n;
-  Buffer.add_string buf s
+  let wstr buf s =
+    let n = String.length s in
+    wv buf n;
+    Buffer.add_string buf s
+
+  type cursor = { data : string; mutable pos : int }
+
+  let cursor data = { data; pos = 0 }
+  let at_end cur = cur.pos = String.length cur.data
+
+  let need cur n =
+    if cur.pos + n > String.length cur.data then
+      corrupt "truncated input at byte %d (need %d more)" cur.pos n
+
+  let r8 cur =
+    need cur 1;
+    let v = Char.code cur.data.[cur.pos] in
+    cur.pos <- cur.pos + 1;
+    v
+
+  let rv cur =
+    let rec go shift acc =
+      let b = r8 cur in
+      (* After eight bytes only bits 56..61 of a 63-bit int remain: a ninth
+         byte with bit 6 set would land in the sign bit, and a continuation
+         would go past it — either way a crafted file could smuggle a
+         negative ts/cost/tid past every writer-side invariant. *)
+      if shift = 56 && b land 0xc0 <> 0 then
+        corrupt "varint overflow at byte %d" (cur.pos - 1);
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+
+  let rstr cur =
+    let n = rv cur in
+    need cur n;
+    let s = String.sub cur.data cur.pos n in
+    cur.pos <- cur.pos + n;
+    s
+
+  let rlist cur f =
+    let n = rv cur in
+    if n > String.length cur.data then corrupt "implausible element count %d" n;
+    List.init n (fun _ -> f cur)
+end
+
+open Wire
 
 let kind_code = function
   | Event.Running -> 0
@@ -37,6 +82,91 @@ let kind_of_code = function
   | 2 -> Event.Unwait
   | 3 -> Event.Hw_service
   | c -> corrupt "unknown event kind code %d" c
+
+(* --- specs and streams, shared with the framed v2 codec --- *)
+
+let write_spec buf (s : Scenario.spec) =
+  wstr buf s.name;
+  wv buf s.tfast;
+  wv buf s.tslow
+
+let read_spec cur =
+  let name = rstr cur in
+  let tfast = rv cur in
+  let tslow = rv cur in
+  if not (0 < tfast && tfast <= tslow) then
+    corrupt "invalid spec thresholds for %s" name;
+  Scenario.spec ~name ~tfast ~tslow
+
+let write_stream buf ~sig_index (st : Stream.t) =
+  wv buf st.Stream.id;
+  wv buf (List.length st.Stream.threads);
+  List.iter
+    (fun (tid, name) ->
+      wv buf tid;
+      wstr buf name)
+    st.Stream.threads;
+  wv buf (Array.length st.Stream.events);
+  Array.iter
+    (fun (e : Event.t) ->
+      w8 buf (kind_code e.kind);
+      wv buf e.tid;
+      wv buf (e.wtid + 1);
+      wv buf e.ts;
+      wv buf e.cost;
+      let frames = Callstack.frames e.stack in
+      wv buf (Array.length frames);
+      Array.iter (fun s -> wv buf (sig_index s)) frames)
+    st.Stream.events;
+  wv buf (List.length st.Stream.instances);
+  List.iter
+    (fun (i : Scenario.instance) ->
+      wstr buf i.scenario;
+      wv buf i.tid;
+      wv buf i.t0;
+      wv buf i.t1)
+    st.Stream.instances
+
+let read_stream cur ~sig_of =
+  let id = rv cur in
+  let threads =
+    rlist cur (fun cur ->
+        let tid = rv cur in
+        let name = rstr cur in
+        (tid, name))
+  in
+  let events =
+    rlist cur (fun cur ->
+        let kind = kind_of_code (r8 cur) in
+        let tid = rv cur in
+        let wtid = rv cur - 1 in
+        let ts = rv cur in
+        let cost = rv cur in
+        let depth = rv cur in
+        if depth > 0xffff then corrupt "implausible stack depth %d" depth;
+        let frames = List.init depth (fun _ -> sig_of (rv cur)) in
+        {
+          Event.id = 0;
+          kind;
+          stack = Callstack.of_list frames;
+          ts;
+          cost;
+          tid;
+          wtid;
+        })
+  in
+  let instances =
+    rlist cur (fun cur ->
+        let scenario = rstr cur in
+        let tid = rv cur in
+        let t0 = rv cur in
+        let t1 = rv cur in
+        if t1 < t0 then corrupt "instance %s has t1 < t0" scenario;
+        { Scenario.scenario; tid; t0; t1 })
+  in
+  Stream.create ~id ~events ~instances ~threads
+
+(* --- whole-corpus writer --- *)
 
 let encode (c : Corpus.t) =
   (* Signature table: every distinct signature across all callstacks. *)
@@ -66,82 +196,17 @@ let encode (c : Corpus.t) =
   wv buf !nsigs;
   List.iter (fun s -> wstr buf (Signature.name s)) (List.rev !sig_list);
   wv buf (List.length c.Corpus.specs);
-  List.iter
-    (fun (s : Scenario.spec) ->
-      wstr buf s.name;
-      wv buf s.tfast;
-      wv buf s.tslow)
-    c.Corpus.specs;
+  List.iter (write_spec buf) c.Corpus.specs;
   wv buf (List.length c.Corpus.streams);
   List.iter
-    (fun (st : Stream.t) ->
-      wv buf st.Stream.id;
-      wv buf (List.length st.Stream.threads);
-      List.iter
-        (fun (tid, name) ->
-          wv buf tid;
-          wstr buf name)
-        st.Stream.threads;
-      wv buf (Array.length st.Stream.events);
-      Array.iter
-        (fun (e : Event.t) ->
-          w8 buf (kind_code e.kind);
-          wv buf e.tid;
-          wv buf (e.wtid + 1);
-          wv buf e.ts;
-          wv buf e.cost;
-          let frames = Callstack.frames e.stack in
-          wv buf (Array.length frames);
-          Array.iter (fun s -> wv buf (Hashtbl.find sig_index s)) frames)
-        st.Stream.events;
-      wv buf (List.length st.Stream.instances);
-      List.iter
-        (fun (i : Scenario.instance) ->
-          wstr buf i.scenario;
-          wv buf i.tid;
-          wv buf i.t0;
-          wv buf i.t1)
-        st.Stream.instances)
+    (write_stream buf ~sig_index:(fun s -> Hashtbl.find sig_index s))
     c.Corpus.streams;
   Buffer.contents buf
 
-(* --- reader --- *)
-
-type cursor = { data : string; mutable pos : int }
-
-let need cur n =
-  if cur.pos + n > String.length cur.data then
-    corrupt "truncated input at byte %d (need %d more)" cur.pos n
-
-let r8 cur =
-  need cur 1;
-  let v = Char.code cur.data.[cur.pos] in
-  cur.pos <- cur.pos + 1;
-  v
-
-let rv cur =
-  let rec go shift acc =
-    if shift > 56 then corrupt "varint too long at byte %d" cur.pos;
-    let b = r8 cur in
-    let acc = acc lor ((b land 0x7f) lsl shift) in
-    if b land 0x80 = 0 then acc else go (shift + 7) acc
-  in
-  go 0 0
-
-let rstr cur =
-  let n = rv cur in
-  need cur n;
-  let s = String.sub cur.data cur.pos n in
-  cur.pos <- cur.pos + n;
-  s
-
-let rlist cur f =
-  let n = rv cur in
-  if n > String.length cur.data then corrupt "implausible element count %d" n;
-  List.init n (fun _ -> f cur)
+(* --- whole-corpus reader --- *)
 
 let decode data =
-  let cur = { data; pos = 0 } in
+  let cur = cursor data in
   need cur 5;
   if String.sub data 0 4 <> magic then corrupt "bad magic";
   cur.pos <- 4;
@@ -154,56 +219,9 @@ let decode data =
     if i < 0 || i >= Array.length sigs then corrupt "signature index %d out of range" i
     else sigs.(i)
   in
-  let specs =
-    rlist cur (fun cur ->
-        let name = rstr cur in
-        let tfast = rv cur in
-        let tslow = rv cur in
-        if not (0 < tfast && tfast <= tslow) then
-          corrupt "invalid spec thresholds for %s" name;
-        Scenario.spec ~name ~tfast ~tslow)
-  in
-  let streams =
-    rlist cur (fun cur ->
-        let id = rv cur in
-        let threads =
-          rlist cur (fun cur ->
-              let tid = rv cur in
-              let name = rstr cur in
-              (tid, name))
-        in
-        let events =
-          rlist cur (fun cur ->
-              let kind = kind_of_code (r8 cur) in
-              let tid = rv cur in
-              let wtid = rv cur - 1 in
-              let ts = rv cur in
-              let cost = rv cur in
-              let depth = rv cur in
-              if depth > 0xffff then corrupt "implausible stack depth %d" depth;
-              let frames = List.init depth (fun _ -> sig_of (rv cur)) in
-              {
-                Event.id = 0;
-                kind;
-                stack = Callstack.of_list frames;
-                ts;
-                cost;
-                tid;
-                wtid;
-              })
-        in
-        let instances =
-          rlist cur (fun cur ->
-              let scenario = rstr cur in
-              let tid = rv cur in
-              let t0 = rv cur in
-              let t1 = rv cur in
-              if t1 < t0 then corrupt "instance %s has t1 < t0" scenario;
-              { Scenario.scenario; tid; t0; t1 })
-        in
-        Stream.create ~id ~events ~instances ~threads)
-  in
-  if cur.pos <> String.length data then
+  let specs = rlist cur read_spec in
+  let streams = rlist cur (fun cur -> read_stream cur ~sig_of) in
+  if not (at_end cur) then
     corrupt "%d trailing bytes" (String.length data - cur.pos);
   Corpus.create ~streams ~specs
 

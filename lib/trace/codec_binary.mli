@@ -1,9 +1,13 @@
-(** Compact binary serialisation of corpora.
+(** Compact binary serialisation of corpora (format v1).
 
     The text format ({!Codec}) is the interchange format; this one is for
     volume. Signatures are table-encoded once per corpus, events reference
     them by index, and all integers are unsigned LEB128 varints — several
-    times smaller and faster to load than the text form.
+    times smaller and faster to load than the text form. For
+    production-scale corpora prefer the framed, checksummed {!Codec_v2},
+    which streams and survives partial corruption; this module remains the
+    compatibility reader/writer and supplies the wire primitives v2 builds
+    on.
 
     Layout:
     {v
@@ -22,6 +26,50 @@
 
 exception Corrupt of string
 (** Raised on truncated or malformed input. *)
+
+(** Low-level wire primitives: LEB128 varints, length-prefixed strings and
+    a read cursor. Decoding rejects any varint that would overflow a
+    non-negative 63-bit [int] (bit 62 and beyond), so no crafted encoding
+    can smuggle a negative [ts]/[cost]/[tid] past the writer-side
+    invariants. *)
+module Wire : sig
+  val w8 : Buffer.t -> int -> unit
+  val wv : Buffer.t -> int -> unit
+  (** @raise Corrupt on a negative value. *)
+
+  val wstr : Buffer.t -> string -> unit
+
+  type cursor = { data : string; mutable pos : int }
+
+  val cursor : string -> cursor
+  val at_end : cursor -> bool
+
+  val need : cursor -> int -> unit
+  (** @raise Corrupt unless [n] more bytes are available. *)
+
+  val r8 : cursor -> int
+  val rv : cursor -> int
+  (** @raise Corrupt on truncation or overflow; the result is always
+      non-negative. *)
+
+  val rstr : cursor -> string
+  val rlist : cursor -> (cursor -> 'a) -> 'a list
+end
+
+val write_spec : Buffer.t -> Scenario.spec -> unit
+val read_spec : Wire.cursor -> Scenario.spec
+(** @raise Corrupt unless [0 < tfast <= tslow]. *)
+
+val write_stream : Buffer.t -> sig_index:(Signature.t -> int) -> Stream.t -> unit
+(** One stream in the v1 per-stream layout; [sig_index] maps each frame
+    signature to its table index (table encoding is the caller's). *)
+
+val read_stream : Wire.cursor -> sig_of:(int -> Signature.t) -> Stream.t
+(** Inverse of {!write_stream}. Validation parity with the text reader:
+    rejects unknown kinds, implausible stack depths, out-of-range
+    signature indices (via [sig_of]), instances with [t1 < t0], and — via
+    {!Wire.rv} — any negative [ts]/[cost]/[tid].
+    @raise Corrupt on malformed input. *)
 
 val encode : Corpus.t -> string
 val decode : string -> Corpus.t

@@ -1,0 +1,108 @@
+(** Framed, checksummed corpus serialisation (format v2).
+
+    The v1 codecs ({!Codec}, {!Codec_binary}) slurp the whole file into
+    one string, so ingestion memory scales with corpus size and a single
+    corrupt byte aborts the whole load. At the paper's evaluation shape
+    (~19,500 traces / ~505,500 scenario instances) neither is acceptable:
+    this format holds each trace stream in its own length-prefixed,
+    CRC32-checksummed frame, so corpora are written and read stream by
+    stream in constant memory, frames decode in parallel on a
+    {!Dppar.Pool}, and a corrupt frame costs exactly the streams it
+    contains.
+
+    On-disk layout (all multi-byte integers little-endian; [v]/[str] are
+    the LEB128 primitives of {!Codec_binary.Wire}):
+    {v
+    magic "DPTF" '\002'
+    frame*
+    frame :=
+      marker   4 bytes 0xF7 'D' 'P' 0xF2   (resynchronisation point)
+      kind     1 byte  'H' | 'S' | 'E'
+      length   u32     payload byte count
+      crc32    u32     CRC-32 of kind byte + payload
+      payload  length bytes
+    'H' (header, first):  v #specs, each: str name, v tfast, v tslow
+    'S' (one per stream): v #signatures, each str     (frame-local table)
+                          stream body as in Codec_binary v1, indices into
+                          the frame-local table
+    'E' (trailer, last):  v #stream-frames written
+    v}
+
+    Each stream frame carries its own signature table, so every frame
+    decodes on its own: corruption in one frame cannot strand the
+    signatures — hence the data — of any other.
+
+    {b Recovery.} In [`Strict] mode (the default) any corruption raises
+    {!Codec_binary.Corrupt}, including truncation at a clean frame
+    boundary (the trailer count catches it). In [`Recover] mode the
+    reader records a {!diagnostic} for each bad frame, resynchronises on
+    the next frame marker, and keeps loading; surviving streams are
+    additionally required to pass {!Validate.check} (a checksum collision
+    must not leak invalid data into the analysis). The result is the
+    surviving corpus plus a {!report} naming every dropped frame. *)
+
+val magic : string
+(** The 5-byte file magic, ["DPTF\002"]; use it to sniff the format. *)
+
+type mode = [ `Strict | `Recover ]
+
+type diagnostic = {
+  frame : int;  (** 0-based frame ordinal in the file; the header is 0. *)
+  offset : int;  (** Byte offset of the frame (or of the damage). *)
+  reason : string;
+}
+
+type report = {
+  frames : int;  (** Frames successfully framed (checksum verified). *)
+  streams : int;  (** Streams delivered to the caller. *)
+  dropped : diagnostic list;  (** In file order; empty under [`Strict]. *)
+}
+
+val pp_diagnostic : Format.formatter -> diagnostic -> unit
+
+(** {1 Streaming writer} *)
+
+type writer
+
+val writer : out_channel -> specs:Scenario.spec list -> writer
+(** Write the magic and the header frame; the channel must be in binary
+    mode. Streams follow via {!add_stream}; {!close} seals the file. *)
+
+val add_stream : writer -> Stream.t -> unit
+(** Append one stream frame. Constant memory in the corpus: only the one
+    stream is materialised. *)
+
+val close : writer -> unit
+(** Write the trailer frame ({b required} — without it a strict reader
+    treats the file as truncated). Idempotent; does not close the
+    channel. *)
+
+(** {1 Streaming reader} *)
+
+val fold_streams :
+  ?mode:mode ->
+  in_channel ->
+  init:'a ->
+  f:('a -> Stream.t -> 'a) ->
+  'a * Scenario.spec list * report
+(** Fold over the stream frames of a channel in file order, one decoded
+    stream in memory at a time (constant memory in the corpus size).
+    @raise Codec_binary.Corrupt in [`Strict] mode on any corruption. *)
+
+(** {1 Whole-corpus convenience} *)
+
+val write_corpus : ?pool:Dppar.Pool.t -> out_channel -> Corpus.t -> unit
+(** Header, one frame per stream, trailer. With a [pool] of size > 1 the
+    per-stream frame payloads are encoded in parallel (output order is
+    the corpus order either way). *)
+
+val encode : ?pool:Dppar.Pool.t -> Corpus.t -> string
+val save : ?pool:Dppar.Pool.t -> string -> Corpus.t -> unit
+
+val decode : ?mode:mode -> ?pool:Dppar.Pool.t -> string -> Corpus.t * report
+val load : ?mode:mode -> ?pool:Dppar.Pool.t -> string -> Corpus.t * report
+(** With a [pool] of size > 1, frame payloads are checksum-verified in
+    file order but decoded in parallel batches; results are in file order
+    and bit-identical to the sequential load.
+    @raise Codec_binary.Corrupt in [`Strict] mode on any corruption
+    @raise Sys_error if the file cannot be opened. *)

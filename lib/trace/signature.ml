@@ -19,7 +19,17 @@ let ensure_capacity id =
     grow function_parts
   end
 
+(* Interning mutates the process-wide tables, and parallel corpus
+   ingestion (Codec_v2 frame decoding on a domain pool) interns from
+   several domains at once; serialise the write path. Reads ([name],
+   [module_part], …) stay lock-free: an id is only obtainable through
+   [of_string], whose lock release/acquire orders the table stores before
+   any reader that learned the id. *)
+let intern_mutex = Mutex.create ()
+
 let of_string s =
+  Mutex.lock intern_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock intern_mutex) @@ fun () ->
   let before = Dputil.Interner.size interner in
   let id = Dputil.Interner.intern interner s in
   if id >= before then begin

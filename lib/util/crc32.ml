@@ -1,0 +1,30 @@
+(* CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320), the zlib
+   convention: chaining [update ~crc] over consecutive chunks equals one
+   pass over their concatenation, and the empty string has CRC 0. *)
+
+let table =
+  let t = Array.make 256 0 in
+  for n = 0 to 255 do
+    let c = ref n in
+    for _ = 0 to 7 do
+      c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+    done;
+    t.(n) <- !c
+  done;
+  t
+
+let feed c byte = table.((c lxor byte) land 0xff) lxor (c lsr 8)
+
+let bytes_sub ?(crc = 0) b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Crc32.bytes_sub";
+  let c = ref (crc lxor 0xffffffff) in
+  for i = pos to pos + len - 1 do
+    c := feed !c (Char.code (Bytes.unsafe_get b i))
+  done;
+  !c lxor 0xffffffff
+
+let string ?(crc = 0) s =
+  let c = ref (crc lxor 0xffffffff) in
+  String.iter (fun ch -> c := feed !c (Char.code ch)) s;
+  !c lxor 0xffffffff

@@ -1,0 +1,451 @@
+(* Codec tests: text-codec escaping, binary varint hardening, and the
+   framed v2 format (round trips, streaming, corruption, recovery). *)
+
+module Event = Dptrace.Event
+module Stream = Dptrace.Stream
+module Corpus = Dptrace.Corpus
+module Callstack = Dptrace.Callstack
+module Codec = Dptrace.Codec
+module Bin = Dptrace.Codec_binary
+module V2 = Dptrace.Codec_v2
+
+let check = Alcotest.check
+let text_of c = Codec.corpus_to_string c
+
+let gen_corpus ?(scale = 0.02) ?(seed = 42) () =
+  Dpworkload.Corpus_gen.generate
+    { (Dpworkload.Corpus_gen.scaled scale) with seed }
+
+(* Structural equality that works for corpora the text codec refuses to
+   print (hostile names). Signatures compare by name, not id, so it also
+   holds across processes. *)
+let stack_names (e : Event.t) =
+  Callstack.frames e.Event.stack
+  |> Array.to_list
+  |> List.map Dptrace.Signature.name
+
+let event_equal (a : Event.t) (b : Event.t) =
+  a.Event.kind = b.Event.kind
+  && a.Event.ts = b.Event.ts
+  && a.Event.cost = b.Event.cost
+  && a.Event.tid = b.Event.tid
+  && a.Event.wtid = b.Event.wtid
+  && stack_names a = stack_names b
+
+let stream_equal (a : Stream.t) (b : Stream.t) =
+  a.Stream.id = b.Stream.id
+  && a.Stream.threads = b.Stream.threads
+  && a.Stream.instances = b.Stream.instances
+  && Array.length a.Stream.events = Array.length b.Stream.events
+  && Array.for_all2 event_equal a.Stream.events b.Stream.events
+
+let corpus_equal (a : Corpus.t) (b : Corpus.t) =
+  a.Corpus.specs = b.Corpus.specs
+  && List.length a.Corpus.streams = List.length b.Corpus.streams
+  && List.for_all2 stream_equal a.Corpus.streams b.Corpus.streams
+
+(* --- text codec escaping --- *)
+
+let event ?(kind = Event.Running) ?(ts = 0) ?(cost = 1) ?(tid = 1)
+    ?(wtid = -1) stack =
+  {
+    Event.id = 0;
+    kind;
+    stack = Callstack.of_strings stack;
+    ts;
+    cost;
+    tid;
+    wtid;
+  }
+
+let corpus_with ?(specs = []) events =
+  Corpus.create
+    ~streams:[ Stream.create ~id:0 ~events ~instances:[] ~threads:[] ]
+    ~specs
+
+let expect_invalid what f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" what
+
+let test_text_rejects_hostile_spec_names () =
+  (* A spec name with whitespace would round-trip to a different corpus
+     (or fail to parse); the writer must refuse. *)
+  List.iter
+    (fun name ->
+      let c =
+        corpus_with ~specs:[ Dptrace.Scenario.spec ~name ~tfast:1 ~tslow:2 ]
+          [ event [ "app!main" ] ]
+      in
+      expect_invalid ("spec name " ^ String.escaped name) (fun () ->
+          text_of c))
+    [ "two words"; "tab\tname"; "multi\nline"; "semi;colon"; "" ]
+
+let test_text_rejects_hostile_frame_signatures () =
+  (* A ';' inside a frame signature would silently split into two frames
+     on reload; whitespace would corrupt the line structure. *)
+  List.iter
+    (fun frame ->
+      let c = corpus_with [ event [ frame; "app!main" ] ] in
+      expect_invalid ("frame " ^ String.escaped frame) (fun () -> text_of c))
+    [ "mod!two words"; "mod!semi;colon"; "mod!multi\nline"; "" ]
+
+let test_text_hostile_names_never_corrupt_silently () =
+  (* Whatever the writer does accept must come back identical. *)
+  let c =
+    corpus_with
+      ~specs:[ Dptrace.Scenario.spec ~name:"Open" ~tfast:1 ~tslow:2 ]
+      [ event [ "od\x01d.sys!weird\x7fbytes"; "app!main" ] ]
+  in
+  check Alcotest.bool "round trip" true
+    (corpus_equal c (Codec.corpus_of_string (text_of c)))
+
+let test_text_binary_mode_roundtrip () =
+  let c = gen_corpus ~scale:0.01 () in
+  let path = Filename.temp_file "driveperf" ".dpt" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Codec.save path c;
+  (* The file must be byte-identical to the in-memory encoding: binary
+     mode, no newline translation. *)
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let on_disk = really_input_string ic n in
+  close_in ic;
+  check Alcotest.bool "no channel translation" true (on_disk = text_of c);
+  check Alcotest.string "load round trip" (text_of c)
+    (text_of (Codec.load path))
+
+(* --- binary codec: varint hardening --- *)
+
+let test_varint_roundtrip_extremes () =
+  List.iter
+    (fun v ->
+      let buf = Buffer.create 16 in
+      Bin.Wire.wv buf v;
+      let cur = Bin.Wire.cursor (Buffer.contents buf) in
+      check Alcotest.int (Printf.sprintf "roundtrip %d" v) v (Bin.Wire.rv cur);
+      check Alcotest.bool "consumed" true (Bin.Wire.at_end cur))
+    [ 0; 1; 0x7f; 0x80; 0x3fff; 0x4000; max_int - 1; max_int ]
+
+let expect_wire_corrupt what data =
+  match Bin.Wire.rv (Bin.Wire.cursor data) with
+  | exception Bin.Corrupt _ -> ()
+  | v -> Alcotest.failf "%s: expected Corrupt, decoded %d" what v
+
+let test_varint_overflow_rejected () =
+  (* Nine 0xff bytes: bit 62 set and a continuation past it. On a 63-bit
+     int this wrapped negative before the overflow check existed. *)
+  expect_wire_corrupt "continuation past bit 62" (String.make 9 '\xff');
+  (* Eight continuations then a final byte with bit 6 set: lands exactly
+     in the sign bit. *)
+  expect_wire_corrupt "sign bit" (String.make 8 '\xff' ^ "\x7f");
+  expect_wire_corrupt "sign bit minimal" (String.make 8 '\x80' ^ "\x40");
+  (* One less than the limit is fine: 8 bytes of 0x7f payload. *)
+  let cur = Bin.Wire.cursor (String.make 8 '\xff' ^ "\x3f") in
+  check Alcotest.int "max encodable" max_int (Bin.Wire.rv cur)
+
+let test_binary_rejects_smuggled_negative_ts () =
+  (* A complete corpus blob whose single event carries an overflowing
+     varint timestamp. Before the overflow check the decoder accepted it
+     and produced a negative [ts] no writer can emit. *)
+  let blob =
+    "DPTB\x01" (* magic, version *)
+    ^ "\x00" (* 0 signatures *)
+    ^ "\x00" (* 0 specs *)
+    ^ "\x01" (* 1 stream *)
+    ^ "\x00" (* stream id *)
+    ^ "\x00" (* 0 threads *)
+    ^ "\x01" (* 1 event *)
+    ^ "\x00" (* kind Running *)
+    ^ "\x05" (* tid *)
+    ^ "\x00" (* wtid+1 *)
+    ^ String.make 8 '\xff'
+    ^ "\x7f" (* ts: overflows into the sign bit *)
+    ^ "\x01" (* cost *)
+    ^ "\x00" (* 0 stack frames *)
+    ^ "\x00" (* 0 instances *)
+  in
+  match Bin.decode blob with
+  | exception Bin.Corrupt _ -> ()
+  | c ->
+    let st = List.hd c.Corpus.streams in
+    Alcotest.failf "accepted negative ts %d" st.Stream.events.(0).Event.ts
+
+let test_binary_rejects_backwards_instance () =
+  (* Validation parity with the text reader: t1 < t0 must be refused. *)
+  let blob =
+    "DPTB\x01" ^ "\x00" ^ "\x00" ^ "\x01" (* 1 stream *)
+    ^ "\x00" (* id *) ^ "\x00" (* threads *) ^ "\x00" (* events *)
+    ^ "\x01" (* 1 instance *)
+    ^ "\x01S" (* scenario "S" *)
+    ^ "\x00" (* tid *)
+    ^ "\x05" (* t0 = 5 *)
+    ^ "\x01" (* t1 = 1 *)
+  in
+  match Bin.decode blob with
+  | exception Bin.Corrupt _ -> ()
+  | _ -> Alcotest.fail "accepted instance with t1 < t0"
+
+let test_binary_hostile_names_roundtrip () =
+  (* Length-prefixed strings carry anything; the binary codec must not
+     inherit the text format's name restrictions. *)
+  let c =
+    Corpus.create
+      ~streams:
+        [
+          Stream.create ~id:3
+            ~events:
+              [ event [ "od d.sys!two words"; "app!semi;colon\nline" ] ]
+            ~instances:
+              [ { Dptrace.Scenario.scenario = "Open Doc"; tid = 1; t0 = 0; t1 = 5 } ]
+            ~threads:[ (1, "UI thread; main") ];
+        ]
+      ~specs:[ Dptrace.Scenario.spec ~name:"Open Doc" ~tfast:1 ~tslow:2 ]
+  in
+  check Alcotest.bool "binary" true (corpus_equal c (Bin.decode (Bin.encode c)));
+  check Alcotest.bool "framed v2" true
+    (corpus_equal c (fst (V2.decode (V2.encode c))))
+
+let prop_codec_roundtrip_any_seed =
+  QCheck.Test.make ~name:"binary and v2 round-trip generated corpora"
+    ~count:10 QCheck.small_int (fun seed ->
+      let c = gen_corpus ~scale:0.01 ~seed () in
+      let t = text_of c in
+      text_of (Bin.decode (Bin.encode c)) = t
+      && text_of (fst (V2.decode (V2.encode c))) = t)
+
+(* --- framed v2 --- *)
+
+let test_v2_roundtrip () =
+  let c = gen_corpus () in
+  let encoded = V2.encode c in
+  let decoded, report = V2.decode encoded in
+  check Alcotest.string "text-identical" (text_of c) (text_of decoded);
+  check Alcotest.int "no drops" 0 (List.length report.V2.dropped);
+  check Alcotest.int "streams" (List.length c.Corpus.streams) report.V2.streams
+
+let test_v2_magic () =
+  let encoded = V2.encode (gen_corpus ~scale:0.01 ()) in
+  check Alcotest.string "magic" V2.magic (String.sub encoded 0 5)
+
+let test_v2_streaming_writer_reader () =
+  let c = gen_corpus () in
+  let path = Filename.temp_file "driveperf" ".dpf" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let oc = open_out_bin path in
+  let w = V2.writer oc ~specs:c.Corpus.specs in
+  List.iter (fun st -> V2.add_stream w st) c.Corpus.streams;
+  V2.close w;
+  V2.close w (* idempotent *);
+  close_out oc;
+  (* The streaming writer and the whole-corpus encoder agree byte for
+     byte. *)
+  let ic = open_in_bin path in
+  let on_disk = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  check Alcotest.bool "writer = encode" true (on_disk = V2.encode c);
+  (* And the streaming reader reproduces the corpus one stream at a
+     time. *)
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  let rev_streams, specs, report =
+    V2.fold_streams ic ~init:[] ~f:(fun acc st -> st :: acc)
+  in
+  let rebuilt = Corpus.create ~streams:(List.rev rev_streams) ~specs in
+  check Alcotest.string "fold_streams rebuilds" (text_of c) (text_of rebuilt);
+  check Alcotest.int "frame count"
+    (2 + List.length c.Corpus.streams)
+    report.V2.frames
+
+let expect_v2_corrupt what data =
+  match V2.decode data with
+  | exception Bin.Corrupt _ -> ()
+  | _ -> Alcotest.failf "%s: expected Corrupt" what
+
+(* Walk the real frame structure (marker, kind, u32 length, u32 crc,
+   payload) and return the [(offset, payload_start, payload_len)] of each
+   frame. Used to aim corruption precisely. *)
+let frame_spans encoded =
+  let le32 s pos =
+    Char.code s.[pos]
+    lor (Char.code s.[pos + 1] lsl 8)
+    lor (Char.code s.[pos + 2] lsl 16)
+    lor (Char.code s.[pos + 3] lsl 24)
+  in
+  let rec go pos acc =
+    if pos >= String.length encoded then List.rev acc
+    else
+      let len = le32 encoded (pos + 5) in
+      let payload = pos + 13 in
+      go (payload + len) ((pos, payload, len) :: acc)
+  in
+  go (String.length V2.magic) []
+
+let test_v2_truncation_at_every_boundary () =
+  let c = gen_corpus ~scale:0.01 () in
+  let encoded = V2.encode c in
+  let spans = frame_spans encoded in
+  check Alcotest.int "frame structure accounted"
+    (2 + List.length c.Corpus.streams)
+    (List.length spans);
+  (* Truncating at any frame boundary leaves a structurally clean prefix;
+     only the trailer count can tell it is incomplete. Mid-frame cuts must
+     fail too. *)
+  List.iter
+    (fun (off, payload, len) ->
+      expect_v2_corrupt
+        (Printf.sprintf "cut at frame boundary %d" off)
+        (String.sub encoded 0 off);
+      expect_v2_corrupt
+        (Printf.sprintf "cut mid-frame %d" off)
+        (String.sub encoded 0 (payload + (len / 2))))
+    spans;
+  expect_v2_corrupt "empty" "";
+  expect_v2_corrupt "magic only" (String.sub encoded 0 5);
+  expect_v2_corrupt "trailing garbage" (encoded ^ "junk")
+
+let test_v2_single_bad_frame_recovery () =
+  let c = gen_corpus () in
+  let encoded = V2.encode c in
+  let spans = frame_spans encoded in
+  (* Corrupt the payload of the second stream frame (frame ordinal 2:
+     header is 0, first stream is 1). *)
+  let ordinal = 2 in
+  let off, payload, len = List.nth spans ordinal in
+  let b = Bytes.of_string encoded in
+  Bytes.set b (payload + (len / 2))
+    (Char.chr (Char.code (Bytes.get b (payload + (len / 2))) lxor 0x01));
+  let corrupted = Bytes.to_string b in
+  expect_v2_corrupt "strict refuses" corrupted;
+  let recovered, report = V2.decode ~mode:`Recover corrupted in
+  (* The diagnostic names the damaged frame and its offset. *)
+  (match report.V2.dropped with
+  | d :: _ ->
+    check Alcotest.int "diagnostic frame" ordinal d.V2.frame;
+    check Alcotest.int "diagnostic offset" off d.V2.offset;
+    check Alcotest.bool "diagnostic reason" true (d.V2.reason <> "")
+  | [] -> Alcotest.fail "no diagnostics");
+  (* Exactly the one stream is gone; every survivor is identical to its
+     original. *)
+  let lost_id = (List.nth c.Corpus.streams (ordinal - 1)).Stream.id in
+  check Alcotest.int "one stream lost"
+    (List.length c.Corpus.streams - 1)
+    (List.length recovered.Corpus.streams);
+  check Alcotest.bool "lost the corrupted one" true
+    (not
+       (List.exists
+          (fun (st : Stream.t) -> st.Stream.id = lost_id)
+          recovered.Corpus.streams));
+  List.iter
+    (fun (st : Stream.t) ->
+      let original =
+        List.find
+          (fun (o : Stream.t) -> o.Stream.id = st.Stream.id)
+          c.Corpus.streams
+      in
+      check Alcotest.bool
+        (Printf.sprintf "stream %d intact" st.Stream.id)
+        true (stream_equal original st))
+    recovered.Corpus.streams;
+  check Alcotest.bool "specs survive" true
+    (recovered.Corpus.specs = c.Corpus.specs)
+
+let prop_v2_bit_flip =
+  (* Any single corrupted byte: strict either refuses or the flip was
+     immaterial; recovery never raises and never delivers an invalid
+     stream. *)
+  let base = V2.encode (gen_corpus ~scale:0.01 ()) in
+  QCheck.Test.make ~name:"v2 single-byte corruption is contained" ~count:120
+    QCheck.(pair small_int (int_range 1 255))
+    (fun (pos_seed, flip) ->
+      let b = Bytes.of_string base in
+      let pos = pos_seed mod Bytes.length b in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor flip));
+      let data = Bytes.to_string b in
+      let strict_ok =
+        match V2.decode data with
+        | decoded, _ -> text_of (fst (V2.decode base)) = text_of decoded
+        | exception Bin.Corrupt _ -> true
+      in
+      let recover_ok =
+        let c, report = V2.decode ~mode:`Recover data in
+        List.for_all
+          (fun st -> Dptrace.Validate.check st = [])
+          c.Corpus.streams
+        && report.V2.streams = List.length c.Corpus.streams
+      in
+      strict_ok && recover_ok)
+
+let test_v2_pooled_load_identical () =
+  let c = gen_corpus () in
+  Dppar.Pool.with_pool ~domains:2 @@ fun pool ->
+  check Alcotest.bool "pooled encode identical" true
+    (V2.encode ~pool c = V2.encode c);
+  let seq, _ = V2.decode (V2.encode c) in
+  let par, _ = V2.decode ~pool (V2.encode c) in
+  check Alcotest.string "pooled decode identical" (text_of seq) (text_of par);
+  (* Recovery parity: pooled and sequential agree on survivors and
+     diagnostics. *)
+  let b = Bytes.of_string (V2.encode c) in
+  Bytes.set b (Bytes.length b / 2)
+    (Char.chr (Char.code (Bytes.get b (Bytes.length b / 2)) lxor 0xff));
+  let data = Bytes.to_string b in
+  let cs, rs = V2.decode ~mode:`Recover data in
+  let cp, rp = V2.decode ~mode:`Recover ~pool data in
+  check Alcotest.string "pooled recovery streams" (text_of cs) (text_of cp);
+  check Alcotest.bool "pooled recovery diagnostics" true
+    (rs.V2.dropped = rp.V2.dropped && rs.V2.frames = rp.V2.frames)
+
+let test_v2_save_load () =
+  let c = gen_corpus ~scale:0.01 () in
+  let path = Filename.temp_file "driveperf" ".dpf" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  V2.save path c;
+  let loaded, report = V2.load path in
+  check Alcotest.string "load round trip" (text_of c) (text_of loaded);
+  check Alcotest.int "clean" 0 (List.length report.V2.dropped)
+
+let () =
+  Alcotest.run "codec"
+    [
+      ( "text escaping",
+        [
+          Alcotest.test_case "hostile spec names rejected" `Quick
+            test_text_rejects_hostile_spec_names;
+          Alcotest.test_case "hostile frame signatures rejected" `Quick
+            test_text_rejects_hostile_frame_signatures;
+          Alcotest.test_case "accepted names round-trip" `Quick
+            test_text_hostile_names_never_corrupt_silently;
+          Alcotest.test_case "binary-mode save/load" `Quick
+            test_text_binary_mode_roundtrip;
+        ] );
+      ( "binary hardening",
+        [
+          Alcotest.test_case "varint extremes round-trip" `Quick
+            test_varint_roundtrip_extremes;
+          Alcotest.test_case "varint overflow rejected" `Quick
+            test_varint_overflow_rejected;
+          Alcotest.test_case "smuggled negative ts rejected" `Quick
+            test_binary_rejects_smuggled_negative_ts;
+          Alcotest.test_case "backwards instance rejected" `Quick
+            test_binary_rejects_backwards_instance;
+          Alcotest.test_case "hostile names round-trip" `Quick
+            test_binary_hostile_names_roundtrip;
+          QCheck_alcotest.to_alcotest prop_codec_roundtrip_any_seed;
+        ] );
+      ( "framed v2",
+        [
+          Alcotest.test_case "round trip" `Quick test_v2_roundtrip;
+          Alcotest.test_case "magic" `Quick test_v2_magic;
+          Alcotest.test_case "streaming writer/reader" `Quick
+            test_v2_streaming_writer_reader;
+          Alcotest.test_case "truncation at every boundary" `Quick
+            test_v2_truncation_at_every_boundary;
+          Alcotest.test_case "single bad frame recovery" `Quick
+            test_v2_single_bad_frame_recovery;
+          QCheck_alcotest.to_alcotest prop_v2_bit_flip;
+          Alcotest.test_case "pooled load identical" `Quick
+            test_v2_pooled_load_identical;
+          Alcotest.test_case "save/load" `Quick test_v2_save_load;
+        ] );
+    ]
