@@ -59,19 +59,38 @@ let format_of_out path =
   else if is_framed_path path then Framed
   else Text
 
+let file_size path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  in_channel_length ic
+
+(* Input volume by detected format, for `driveperf stats` and the
+   metrics dump. *)
+let record_input_bytes path fmt =
+  if Dpobs.metrics_on () then
+    let name =
+      match fmt with
+      | Text -> "corpus.bytes.text_v1"
+      | Binary -> "corpus.bytes.binary_v1"
+      | Framed -> "corpus.bytes.framed_v2"
+    in
+    Dpobs.Metrics.add (Dpobs.Metrics.counter name) (file_size path)
+
 let load_corpus ?pool ~mode path =
   try
-    match sniff_format path with
+    let fmt = sniff_format path in
+    record_input_bytes path fmt;
+    match fmt with
     | Framed ->
       let corpus, report = Dptrace.Codec_v2.load ~mode ?pool path in
       if report.Dptrace.Codec_v2.dropped <> [] then begin
         List.iter
           (fun d ->
-            Format.eprintf "warning: %s: %a@." path Dptrace.Codec_v2.pp_diagnostic d)
+            Dpobs.Log.warn "%s: %a" path Dptrace.Codec_v2.pp_diagnostic d)
           report.Dptrace.Codec_v2.dropped;
-        Format.eprintf
-          "warning: %s: recovered %d stream(s) from %d frame(s), %d problem(s)@."
-          path report.Dptrace.Codec_v2.streams report.Dptrace.Codec_v2.frames
+        Dpobs.Log.warn
+          "%s: recovered %d stream(s) from %d frame(s), %d problem(s)" path
+          report.Dptrace.Codec_v2.streams report.Dptrace.Codec_v2.frames
           (List.length report.Dptrace.Codec_v2.dropped)
       end;
       corpus
@@ -79,10 +98,10 @@ let load_corpus ?pool ~mode path =
     | Text -> Dptrace.Codec.load path
   with
   | Dptrace.Codec_binary.Corrupt m ->
-    Format.eprintf "error: %s: corrupt corpus: %s@." path m;
+    Dpobs.Log.error "%s: corrupt corpus: %s" path m;
     exit 1
   | Dptrace.Codec.Parse_error { line; message } ->
-    Format.eprintf "error: %s:%d: %s@." path line message;
+    Dpobs.Log.error "%s:%d: %s" path line message;
     exit 1
 
 let save_corpus ?pool path corpus =
@@ -153,6 +172,104 @@ let with_cli_pool j f =
   let domains = if j <= 0 then Dppar.Pool.default_domains () else j in
   Dppar.Pool.with_pool ~domains f
 
+(* --- self-telemetry options (lib/obs) --- *)
+
+type obs_opts = {
+  trace_out : string option;
+  metrics_out : string option;
+  log_level : Dpobs.Log.level option;
+  progress : bool;
+}
+
+let obs_opts_term =
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Record timed spans of the analysis engine's own execution \
+             and write them as Chrome trace-event JSON: one track per \
+             domain, one span per pipeline stage. Open the file in \
+             Perfetto (ui.perfetto.dev) or chrome://tracing.")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the engine's telemetry registry (counters, gauges, \
+             histograms: pool utilisation, codec bytes/frames, index \
+             cache hits) as JSON.")
+  in
+  let log_level =
+    let level =
+      Arg.enum
+        [
+          ("error", Dpobs.Log.Error);
+          ("warn", Dpobs.Log.Warn);
+          ("info", Dpobs.Log.Info);
+          ("debug", Dpobs.Log.Debug);
+        ]
+    in
+    Arg.(
+      value
+      & opt (some level) None
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:
+            "Diagnostic verbosity: error, warn (default), info or debug. \
+             The DRIVEPERF_LOG environment variable sets the same knob; \
+             this flag wins.")
+  in
+  let progress =
+    Arg.(
+      value & flag
+      & info [ "progress" ]
+          ~doc:
+            "Draw a live progress line (items/sec, ETA) on stderr for \
+             long runs, driven by the engine's own counters. \
+             Automatically disabled when stderr is not a terminal.")
+  in
+  let combine trace_out metrics_out log_level progress =
+    { trace_out; metrics_out; log_level; progress }
+  in
+  Term.(const combine $ trace_out $ metrics_out $ log_level $ progress)
+
+(* Apply the observability options around a command body: arm the
+   requested recorders before any work (including corpus loading) and
+   flush the exports after. [metrics] forces the registry on for commands
+   that print from it regardless of --metrics-out. *)
+let with_obs ?(metrics = false) o f =
+  Dpobs.Log.init_from_env ();
+  (match o.log_level with Some l -> Dpobs.Log.set_level l | None -> ());
+  if o.trace_out <> None then Dpobs.enable ~metrics:false ();
+  if metrics || o.metrics_out <> None || o.trace_out <> None || o.progress then
+    Dpobs.enable ~spans:false ~metrics:true ();
+  let code = f () in
+  (match o.trace_out with
+  | Some path ->
+    Dpobs.Export.write_chrome_trace path;
+    Dpobs.Log.info "wrote engine trace %s (open in Perfetto)" path
+  | None -> ());
+  (match o.metrics_out with
+  | Some path ->
+    Dpobs.Export.write_metrics path;
+    Dpobs.Log.info "wrote engine metrics %s" path
+  | None -> ());
+  code
+
+(* Progress over a named engine counter; a no-op without --progress or a
+   tty, and transparent to the wrapped computation either way. *)
+let with_progress o ~label ~total counter_name f =
+  if not o.progress then f ()
+  else
+    match
+      Dpobs.Progress.start ~label ~total (Dpobs.Metrics.counter counter_name)
+    with
+    | None -> f ()
+    | Some p -> Fun.protect ~finally:(fun () -> Dpobs.Progress.finish p) f
+
 (* --- generate --- *)
 
 let generate seed scale out =
@@ -177,7 +294,8 @@ let generate_cmd =
 
 (* --- impact --- *)
 
-let impact corpus pats breakdown per_scenario j mode =
+let impact corpus pats breakdown per_scenario j mode obs =
+  with_obs obs @@ fun () ->
   let components = components_of pats in
   with_cli_pool j @@ fun pool ->
   let corpus = read_corpus ~pool ~mode corpus in
@@ -194,9 +312,15 @@ let impact corpus pats breakdown per_scenario j mode =
   end;
   if per_scenario then begin
     print_newline ();
-    Dputil.Table.print
-      (Dpcore.Report.scenario_impacts
-         (Dpcore.Pipeline.impact_per_scenario ~pool components corpus))
+    let scenario_count =
+      List.length (Dptrace.Corpus.scenario_names corpus)
+    in
+    let impacts =
+      with_progress obs ~label:"scenarios" ~total:scenario_count
+        "pipeline.scenarios_done" (fun () ->
+          Dpcore.Pipeline.impact_per_scenario ~pool components corpus)
+    in
+    Dputil.Table.print (Dpcore.Report.scenario_impacts impacts)
   end;
   0
 
@@ -216,11 +340,12 @@ let impact_cmd =
     (Cmd.info "impact" ~doc:"Impact analysis (Section 3)")
     Term.(
       const impact $ corpus_arg $ components_arg $ breakdown $ per_scenario
-      $ domains_arg $ mode_arg)
+      $ domains_arg $ mode_arg $ obs_opts_term)
 
 (* --- causality --- *)
 
-let causality corpus pats scenario k top j mode =
+let causality corpus pats scenario k top j mode obs =
+  with_obs obs @@ fun () ->
   let components = components_of pats in
   with_cli_pool j @@ fun pool ->
   let corpus = read_corpus ~pool ~mode corpus in
@@ -278,25 +403,29 @@ let causality_cmd =
     (Cmd.info "causality" ~doc:"Causality analysis (Section 4)")
     Term.(
       const causality $ corpus_arg $ components_arg $ scenario $ k $ top
-      $ domains_arg $ mode_arg)
+      $ domains_arg $ mode_arg $ obs_opts_term)
 
 (* --- report --- *)
 
-let report corpus j mode =
+let report corpus j mode obs =
+  with_obs obs @@ fun () ->
   let components = Dpcore.Component.drivers in
   with_cli_pool j @@ fun pool ->
   let corpus = read_corpus ~pool ~mode corpus in
   Dputil.Table.print
     (Dpcore.Report.impact_summary
        (Dpcore.Pipeline.run_impact ~pool components corpus));
+  let scenario_names =
+    List.map
+      (fun (tpl : Dpworkload.Scenarios.template) ->
+        tpl.Dpworkload.Scenarios.spec.Dptrace.Scenario.name)
+      Dpworkload.Scenarios.named
+  in
   let named =
-    Dpcore.Pipeline.run_all ~pool
-      ~scenarios:
-        (List.map
-           (fun (tpl : Dpworkload.Scenarios.template) ->
-             tpl.Dpworkload.Scenarios.spec.Dptrace.Scenario.name)
-           Dpworkload.Scenarios.named)
-      components corpus
+    with_progress obs ~label:"scenarios" ~total:(List.length scenario_names)
+      "pipeline.scenarios_done" (fun () ->
+        Dpcore.Pipeline.run_all ~pool ~scenarios:scenario_names components
+          corpus)
   in
   let classes = List.map (fun (n, r) -> (n, r.Dpcore.Pipeline.classification)) named in
   print_newline ();
@@ -315,7 +444,7 @@ let report corpus j mode =
 let report_cmd =
   Cmd.v
     (Cmd.info "report" ~doc:"Regenerate the paper's tables")
-    Term.(const report $ corpus_arg $ domains_arg $ mode_arg)
+    Term.(const report $ corpus_arg $ domains_arg $ mode_arg $ obs_opts_term)
 
 (* --- case --- *)
 
@@ -455,7 +584,7 @@ let import_etw input out specs =
   | violations ->
     List.iter
       (fun (sid, v) ->
-        Format.eprintf "warning: stream %d: %a@." sid Dptrace.Validate.pp_violation v)
+        Dpobs.Log.warn "stream %d: %a" sid Dptrace.Validate.pp_violation v)
       violations);
   save_corpus out corpus;
   Format.printf "%a@.wrote %s@." Dptrace.Corpus.pp_summary corpus out;
@@ -486,16 +615,14 @@ let import_etw_cmd =
 
 (* --- convert --- *)
 
-let file_size path =
-  let ic = open_in_bin path in
-  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
-  in_channel_length ic
-
-let convert input out j mode =
+let convert input out j mode obs =
+  with_obs obs @@ fun () ->
   with_cli_pool j @@ fun pool ->
   let in_format = sniff_format input in
   let corpus = load_corpus ~pool ~mode input in
-  save_corpus ~pool out corpus;
+  with_progress obs ~label:"streams"
+    ~total:(List.length corpus.Dptrace.Corpus.streams)
+    "codec_v2.streams_written" (fun () -> save_corpus ~pool out corpus);
   Format.printf "%a@.%s (%s, %d bytes) -> %s (%s, %d bytes)@."
     Dptrace.Corpus.pp_summary corpus input (format_name in_format)
     (file_size input) out
@@ -522,7 +649,7 @@ let convert_cmd =
   Cmd.v
     (Cmd.info "convert"
        ~doc:"Re-encode a corpus (e.g. upgrade a v1 file to framed v2)")
-    Term.(const convert $ input $ out $ domains_arg $ mode_arg)
+    Term.(const convert $ input $ out $ domains_arg $ mode_arg $ obs_opts_term)
 
 (* --- diff --- *)
 
@@ -644,15 +771,22 @@ let witness_cmd =
 
 (* --- stats --- *)
 
-let stats corpus mode =
+let stats corpus mode obs =
+  (* Counters first, via the telemetry registry ([Corpus_stats.publish]):
+     the same numbers any instrumented run exports with --metrics-out. *)
+  with_obs ~metrics:true obs @@ fun () ->
   let corpus = read_corpus ~mode corpus in
-  print_string (Dptrace.Corpus_stats.render (Dptrace.Corpus_stats.compute corpus));
+  let s = Dptrace.Corpus_stats.compute corpus in
+  Dptrace.Corpus_stats.publish s;
+  print_string (Dpobs.Metrics.render ~prefix:"corpus." ());
+  print_newline ();
+  print_string (Dptrace.Corpus_stats.render s);
   0
 
 let stats_cmd =
   Cmd.v
     (Cmd.info "stats" ~doc:"Descriptive statistics of a corpus")
-    Term.(const stats $ corpus_arg $ mode_arg)
+    Term.(const stats $ corpus_arg $ mode_arg $ obs_opts_term)
 
 (* --- timeline --- *)
 
@@ -706,7 +840,8 @@ let timeline_cmd =
 
 (* --- analyze: the one-shot full report --- *)
 
-let analyze corpus_path out top_patterns_n j mode =
+let analyze corpus_path out top_patterns_n j mode obs =
+  with_obs obs @@ fun () ->
   let components = Dpcore.Component.drivers in
   with_cli_pool j @@ fun pool ->
   let corpus = read_corpus ~pool ~mode corpus_path in
@@ -751,6 +886,12 @@ let analyze corpus_path out top_patterns_n j mode =
        (Dpcore.Robustness.bootstrap ~pool components corpus));
   line "## Causality analysis";
   (* Analyse every scenario with a spec and both classes non-empty. *)
+  let scenario_results =
+    with_progress obs ~label:"scenarios"
+      ~total:(List.length (Dptrace.Corpus.scenario_names corpus))
+      "pipeline.scenarios_done" (fun () ->
+        Dpcore.Pipeline.run_all ~pool components corpus)
+  in
   List.iter
     (fun (name, (r : Dpcore.Pipeline.scenario_result)) ->
         let f, m, sl = Dpcore.Classify.counts r.Dpcore.Pipeline.classification in
@@ -783,7 +924,7 @@ let analyze corpus_path out top_patterns_n j mode =
             | [] -> ())
           | [] -> ()
         end)
-    (Dpcore.Pipeline.run_all ~pool components corpus);
+    scenario_results;
   line "## What conventional tools would report";
   line "";
   let cg = Dpbaseline.Callgraph.profile corpus in
@@ -822,7 +963,9 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Produce the full analyst report (impact + causality + witnesses)")
-    Term.(const analyze $ corpus_arg $ out $ top $ domains_arg $ mode_arg)
+    Term.(
+      const analyze $ corpus_arg $ out $ top $ domains_arg $ mode_arg
+      $ obs_opts_term)
 
 let main_cmd =
   let doc = "trace-based performance comprehension for device drivers" in

@@ -100,13 +100,27 @@ let select_patterns ~slow ~contrast_metas =
          | c -> c)
 
 let mine ?(k = default_k) ~fast ~slow ~(spec : Dptrace.Scenario.spec) () =
-  let fast_table = meta_table fast ~k in
-  let slow_table = meta_table slow ~k in
+  (* Tuple enumeration dominates mining cost; give each class its own
+     span so the trace shows where k bites. *)
+  let fast_table =
+    Dpobs.Span.with_span ~args:[ ("class", "fast") ] "mining.enumerate_tuples"
+      (fun () -> meta_table fast ~k)
+  in
+  let slow_table =
+    Dpobs.Span.with_span ~args:[ ("class", "slow") ] "mining.enumerate_tuples"
+      (fun () -> meta_table slow ~k)
+  in
   let ratio_threshold =
     Dputil.Stats.ratio (float_of_int spec.tslow) (float_of_int spec.tfast)
   in
-  let contrast_metas = discover_contrasts ~fast_table ~slow_table ~ratio_threshold in
-  let patterns = select_patterns ~slow ~contrast_metas in
+  let contrast_metas =
+    Dpobs.Span.with_span "mining.contrast_discovery" (fun () ->
+        discover_contrasts ~fast_table ~slow_table ~ratio_threshold)
+  in
+  let patterns =
+    Dpobs.Span.with_span "mining.pattern_selection" (fun () ->
+        select_patterns ~slow ~contrast_metas)
+  in
   {
     contrast_metas;
     patterns;

@@ -9,7 +9,15 @@ type scenario_result = {
   coverages : Evaluation.coverages;
 }
 
+(* Stage spans: one span per pipeline stage per scenario, recorded on
+   whichever domain runs the stage, so a pooled run_all shows its
+   scenario fan-out per domain in the Chrome trace. The scenarios_done
+   counter drives the --progress line. *)
+let span = Dpobs.Span.with_span
+let scenarios_done = lazy (Dpobs.Metrics.counter "pipeline.scenarios_done")
+
 let build_graphs ?pool _corpus entries =
+  span "pipeline.build_graphs" @@ fun () ->
   (* Group the instances by stream — each group resolves the stream's
      memoised index exactly once (Dptrace.Stream.shared_index), whether
      the groups run on one domain or many — then restore the caller's
@@ -52,15 +60,27 @@ let build_graphs ?pool _corpus entries =
 
 let run_scenario ?pool ?(k = Mining.default_k) ?(reduce = true) components
     corpus name =
-  let classification = Classify.classify corpus name in
+  span ~args:[ ("scenario", name) ] "pipeline.run_scenario" @@ fun () ->
+  let classification =
+    span "pipeline.classify" (fun () -> Classify.classify corpus name)
+  in
   let fast_graphs = build_graphs ?pool corpus classification.Classify.fast in
   let slow_graphs = build_graphs ?pool corpus classification.Classify.slow in
-  let slow_impact = Impact.analyze_graphs components slow_graphs in
-  let fast_awg = Awg.build ?pool ~reduce components fast_graphs in
-  let slow_awg = Awg.build ?pool ~reduce components slow_graphs in
+  let slow_impact =
+    span "pipeline.impact" (fun () -> Impact.analyze_graphs components slow_graphs)
+  in
+  let fast_awg =
+    span "pipeline.awg_build" (fun () ->
+        Awg.build ?pool ~reduce components fast_graphs)
+  in
+  let slow_awg =
+    span "pipeline.awg_build" (fun () ->
+        Awg.build ?pool ~reduce components slow_graphs)
+  in
   let mining =
-    Mining.mine ~k ~fast:fast_awg ~slow:slow_awg
-      ~spec:classification.Classify.spec ()
+    span "pipeline.mining" (fun () ->
+        Mining.mine ~k ~fast:fast_awg ~slow:slow_awg
+          ~spec:classification.Classify.spec ())
   in
   (* Coverage denominator: everything the slow-class aggregation absorbed
      at its end nodes, plus the non-optimisable mass the reduction pruned
@@ -70,8 +90,10 @@ let run_scenario ?pool ?(k = Mining.default_k) ?(reduce = true) components
     Awg.total_leaf_cost slow_awg + (Awg.reduction slow_awg).Awg.pruned_cost
   in
   let coverages =
-    Evaluation.time_coverages mining.Mining.patterns
-      ~tslow:classification.Classify.spec.Dptrace.Scenario.tslow ~driver_cost
+    span "pipeline.evaluation" (fun () ->
+        Evaluation.time_coverages mining.Mining.patterns
+          ~tslow:classification.Classify.spec.Dptrace.Scenario.tslow
+          ~driver_cost)
   in
   { classification; slow_impact; fast_awg; slow_awg; mining; coverages }
 
@@ -83,7 +105,10 @@ let impact_per_scenario ?pool components corpus =
      final order is fixed by the sort below, never by completion order. *)
   let impact_of name =
     let graphs = build_graphs corpus (Dptrace.Corpus.instances_of corpus name) in
-    (name, Impact.analyze_graphs components graphs)
+    let r = (name, Impact.analyze_graphs components graphs) in
+    if Dpobs.metrics_on () then
+      Dpobs.Metrics.incr (Lazy.force scenarios_done);
+    r
   in
   let names = Dptrace.Corpus.scenario_names corpus in
   (match pool with
@@ -104,9 +129,14 @@ let run_all ?pool ?k ?reduce ?scenarios components corpus =
      the worker. Results are merged by the scenario-name order of [names],
      not completion order. *)
   let one name =
-    match run_scenario ?k ?reduce components corpus name with
-    | r -> Some (name, r)
-    | exception Not_found -> None
+    let r =
+      match run_scenario ?k ?reduce components corpus name with
+      | r -> Some (name, r)
+      | exception Not_found -> None
+    in
+    if Dpobs.metrics_on () then
+      Dpobs.Metrics.incr (Lazy.force scenarios_done);
+    r
   in
   (match pool with
   | Some pool -> Dppar.Pool.parallel_map ~chunk:1 pool one names

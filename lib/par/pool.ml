@@ -13,6 +13,28 @@ type t = {
   size : int;
 }
 
+(* Telemetry (all behind [Dpobs.metrics_on], one branch when off):
+   lifetime task count, per-domain busy time, peak queue depth. The busy
+   counter is resolved once per domain through DLS so the per-task cost
+   is one hashtable-free lookup. *)
+
+let tasks_counter = lazy (Dpobs.Metrics.counter "pool.tasks")
+let queue_depth_gauge = lazy (Dpobs.Metrics.gauge "pool.queue_depth.max")
+
+let busy_key : Dpobs.Metrics.counter option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let busy_counter () =
+  match Domain.DLS.get busy_key with
+  | Some c -> c
+  | None ->
+    let c =
+      Dpobs.Metrics.counter
+        (Printf.sprintf "pool.domain%d.busy_us" (Domain.self () :> int))
+    in
+    Domain.DLS.set busy_key (Some c);
+    c
+
 let default_domains () =
   match Sys.getenv_opt "DRIVEPERF_DOMAINS" with
   | Some s when (match int_of_string_opt (String.trim s) with
@@ -108,12 +130,18 @@ let run_jobs : 'b. t -> (unit -> 'b) array -> 'b array =
   let errors = Array.make n None in
   let remaining = ref n in
   let task i () =
+    let t0 = if Dpobs.metrics_on () then Dpobs.now_ns () else 0L in
     (* Distinct domains write distinct slots, and every slot is written
        before the final [remaining] decrement is observed under the
        mutex, so the caller reads fully published values. *)
     (match jobs.(i) () with
     | r -> results.(i) <- Some r
     | exception e -> errors.(i) <- Some e);
+    if Dpobs.metrics_on () then begin
+      let us = Int64.to_int (Int64.div (Int64.sub (Dpobs.now_ns ()) t0) 1000L) in
+      Dpobs.Metrics.add (busy_counter ()) us;
+      Dpobs.Metrics.incr (Lazy.force tasks_counter)
+    end;
     Mutex.lock t.mutex;
     decr remaining;
     Condition.broadcast t.cond;
@@ -123,6 +151,8 @@ let run_jobs : 'b. t -> (unit -> 'b) array -> 'b array =
   for i = 0 to n - 1 do
     Queue.add (task i) t.queue
   done;
+  if Dpobs.metrics_on () then
+    Dpobs.Metrics.set_max (Lazy.force queue_depth_gauge) (Queue.length t.queue);
   Condition.broadcast t.cond;
   let rec drain () =
     match Queue.take_opt t.queue with

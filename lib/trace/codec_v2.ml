@@ -10,6 +10,18 @@ let marker = "\xf7DP\xf2"
    corrupt length field must not make the reader swallow gigabytes. *)
 let max_frame_len = 1 lsl 30
 
+(* Telemetry. Byte/frame/stream counters feed `driveperf stats` and the
+   convert progress line; the per-stream encode/decode spans land on the
+   recording domain's tid, so a pooled (de)serialisation shows its fan-out
+   in the Chrome trace. All behind [Dpobs.metrics_on]/[spans_on]. *)
+let bytes_written_c = lazy (Dpobs.Metrics.counter "codec_v2.bytes_written")
+let bytes_read_c = lazy (Dpobs.Metrics.counter "codec_v2.bytes_read")
+let frames_written_c = lazy (Dpobs.Metrics.counter "codec_v2.frames_written")
+let frames_read_c = lazy (Dpobs.Metrics.counter "codec_v2.frames_read")
+let frames_dropped_c = lazy (Dpobs.Metrics.counter "codec_v2.frames_dropped")
+let streams_written_c = lazy (Dpobs.Metrics.counter "codec_v2.streams_written")
+let streams_read_c = lazy (Dpobs.Metrics.counter "codec_v2.streams_read")
+
 type mode = [ `Strict | `Recover ]
 type diagnostic = { frame : int; offset : int; reason : string }
 type report = { frames : int; streams : int; dropped : diagnostic list }
@@ -31,6 +43,7 @@ let trailer_payload nstreams =
   Buffer.contents buf
 
 let stream_payload (st : Stream.t) =
+  Dpobs.Span.with_span "codec_v2.encode_stream" @@ fun () ->
   let buf = Buffer.create 65536 in
   (* Frame-local signature table, first-appearance order: every frame
      decodes on its own, so one corrupt frame cannot strand the table —
@@ -56,6 +69,8 @@ let stream_payload (st : Stream.t) =
   Codec_binary.write_stream buf
     ~sig_index:(fun s -> Hashtbl.find sig_index s)
     st;
+  if Dpobs.metrics_on () then
+    Dpobs.Metrics.incr (Lazy.force streams_written_c);
   Buffer.contents buf
 
 let decode_header payload =
@@ -71,6 +86,7 @@ let decode_trailer payload =
   n
 
 let decode_stream_payload payload =
+  Dpobs.Span.with_span "codec_v2.decode_stream" @@ fun () ->
   let cur = Codec_binary.Wire.cursor payload in
   let sigs =
     Array.of_list
@@ -84,6 +100,7 @@ let decode_stream_payload payload =
   in
   let st = Codec_binary.read_stream cur ~sig_of in
   if not (Codec_binary.Wire.at_end cur) then corrupt "stream frame: trailing bytes";
+  if Dpobs.metrics_on () then Dpobs.Metrics.incr (Lazy.force streams_read_c);
   st
 
 (* --- frame envelope --- *)
@@ -117,7 +134,12 @@ let writer oc ~specs =
 
 let add_stream w st =
   if w.closed then invalid_arg "Codec_v2.add_stream: writer is closed";
-  output_string w.oc (frame_string 'S' (stream_payload st));
+  let framed = frame_string 'S' (stream_payload st) in
+  if Dpobs.metrics_on () then begin
+    Dpobs.Metrics.add (Lazy.force bytes_written_c) (String.length framed);
+    Dpobs.Metrics.incr (Lazy.force frames_written_c)
+  end;
+  output_string w.oc framed;
   w.written <- w.written + 1
 
 let close w =
@@ -127,6 +149,13 @@ let close w =
   end
 
 let emit ?pool put (c : Corpus.t) =
+  Dpobs.Span.with_span "codec_v2.encode" @@ fun () ->
+  let put =
+    if Dpobs.metrics_on () then (fun s ->
+      Dpobs.Metrics.add (Lazy.force bytes_written_c) (String.length s);
+      put s)
+    else put
+  in
   put magic;
   put (frame_string 'H' (header_payload c.Corpus.specs));
   let payloads =
@@ -136,7 +165,10 @@ let emit ?pool put (c : Corpus.t) =
     | _ -> List.map stream_payload c.Corpus.streams
   in
   List.iter (fun p -> put (frame_string 'S' p)) payloads;
-  put (frame_string 'E' (trailer_payload (List.length c.Corpus.streams)))
+  put (frame_string 'E' (trailer_payload (List.length c.Corpus.streams)));
+  if Dpobs.metrics_on () then
+    Dpobs.Metrics.add (Lazy.force frames_written_c)
+      (2 + List.length c.Corpus.streams)
 
 let write_corpus ?pool oc c = emit ?pool (output_string oc) c
 
@@ -392,6 +424,11 @@ let fold_raw mode src ~init ~f =
       end
     end
   done;
+  if Dpobs.metrics_on () then begin
+    Dpobs.Metrics.add (Lazy.force bytes_read_c) (offset src);
+    Dpobs.Metrics.add (Lazy.force frames_read_c) !idx;
+    Dpobs.Metrics.add (Lazy.force frames_dropped_c) !ndiag
+  end;
   (!acc, List.rev !diags, !idx, offset src)
 
 (* Trailer accounting shared by the sequential and pooled loads. *)
@@ -518,6 +555,7 @@ let load_pooled mode pool src =
     { frames; streams = List.length streams; dropped = diags } )
 
 let load_src mode pool src =
+  Dpobs.Span.with_span "codec_v2.decode" @@ fun () ->
   match pool with
   | Some pool when Dppar.Pool.size pool > 1 -> load_pooled mode pool src
   | _ ->

@@ -90,6 +90,29 @@ let compute (c : Corpus.t) =
     per_scenario;
   }
 
+(* Mirror the snapshot into the metrics registry so `driveperf stats`
+   prints corpus-level counters through the same code path as the
+   engine's own telemetry. Counters accumulate; publishing twice in one
+   process double-counts, which matches counter semantics (two corpora
+   loaded = totals over both). *)
+let publish t =
+  let c name v = Dpobs.Metrics.add (Dpobs.Metrics.counter name) v in
+  c "corpus.streams" t.streams;
+  c "corpus.threads" t.threads;
+  c "corpus.instances" t.instances;
+  c "corpus.scenarios" (List.length t.per_scenario);
+  c "corpus.events" t.events;
+  c "corpus.events.running" t.kinds.running;
+  c "corpus.events.wait" t.kinds.waits;
+  c "corpus.events.unwait" t.kinds.unwaits;
+  c "corpus.events.hw_service" t.kinds.hw_services;
+  c "corpus.scenario_time_us" t.total_scenario_time;
+  c "corpus.recorded_span_us" t.span;
+  c "corpus.signatures" t.distinct_signatures;
+  Dpobs.Metrics.set_max
+    (Dpobs.Metrics.gauge "corpus.stack_depth.max")
+    t.max_stack_depth
+
 let render t =
   let buf = Buffer.create 2048 in
   let overview =

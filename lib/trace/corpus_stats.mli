@@ -33,5 +33,13 @@ type t = {
 
 val compute : Corpus.t -> t
 
+val publish : t -> unit
+(** Mirror the snapshot into the [Dpobs.Metrics] registry under
+    [corpus.*] names (streams, threads, instances, scenarios, event
+    counts by kind, scenario/recorded time, signatures, max stack
+    depth), so corpus-level counters print through the same path as the
+    engine's own telemetry. Requires [Dpobs.metrics_on]; counters
+    accumulate across corpora published in one process. *)
+
 val render : t -> string
 (** Multi-table plain-text report. *)

@@ -78,10 +78,18 @@ let index t =
    (pure, identical) index twice; the first store wins. *)
 let memo_mutex = Mutex.create ()
 
+(* Cache effectiveness of the memoised index — a racing double build
+   counts as two misses, which is exactly the wasted work. *)
+let index_hits = lazy (Dpobs.Metrics.counter "stream.index.hit")
+let index_misses = lazy (Dpobs.Metrics.counter "stream.index.miss")
+
 let shared_index t =
   match t.memo_index with
-  | Some idx -> idx
+  | Some idx ->
+    if Dpobs.metrics_on () then Dpobs.Metrics.incr (Lazy.force index_hits);
+    idx
   | None ->
+    if Dpobs.metrics_on () then Dpobs.Metrics.incr (Lazy.force index_misses);
     let idx = index t in
     Mutex.lock memo_mutex;
     let idx =

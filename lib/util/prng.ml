@@ -13,7 +13,11 @@ let mix64 z =
 
 let create seed = { state = seed }
 
-let of_int seed = create (Int64.of_int seed)
+let of_int seed =
+  (* Root-generator creations are the reproducibility anchors of a run;
+     visible under --log-level debug, silent otherwise. *)
+  Logf.debug "prng: root generator seeded with %d" seed;
+  create (Int64.of_int seed)
 
 let next_int64 g =
   g.state <- Int64.add g.state golden_gamma;

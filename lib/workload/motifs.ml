@@ -28,11 +28,13 @@ let cached_file_open ctx =
 
 let cache_lookup ctx =
   let fill =
-    if Prng.chance ctx.prng 0.2 then
+    if Prng.chance ctx.prng 0.2 then begin
+      Dpobs.Log.debug "motif: ioc cache miss, filling from disk";
       [
         P.call T.ioc_cache_fill
           [ P.call T.fs_read [ P.hw ctx.env.Env.disk (service_ms ctx ~median:4.0) ] ];
       ]
+    end
     else []
   in
   [
@@ -201,6 +203,11 @@ let gpu_render ctx ~dur =
   ]
 
 let hard_fault_page_read ctx ~dur =
+  (* The paper's observation-3 motif; emission is rare enough that a
+     debug line per fault is affordable and lets a generated corpus be
+     audited without reading the trace back. *)
+  Dpobs.Log.debug "motif: graphics hard fault page-in, disk service %a"
+    Dputil.Time.pp dur;
   let decrypt_cpu = max (Time.ms 2) (dur / 10) in
   [
     P.call T.gfx_init_struct

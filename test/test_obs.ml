@@ -1,0 +1,438 @@
+(* Tests for the self-telemetry layer (lib/obs): disabled-mode really is
+   free, counters stay exact under the domain pool, spans stay
+   well-formed under the domain pool, and the Chrome trace export is
+   valid JSON with the shape Perfetto expects. *)
+
+module Obs = Dpobs
+module Pool = Dppar.Pool
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* --- a minimal JSON parser, just enough to validate the exports --- *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse (s : string) : t =
+    let pos = ref 0 in
+    let len = String.length s in
+    let peek () = if !pos < len then Some s.[!pos] else None in
+    let next () =
+      if !pos >= len then raise (Bad "eof");
+      let c = s.[!pos] in
+      incr pos;
+      c
+    in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        incr pos;
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      let g = next () in
+      if g <> c then raise (Bad (Printf.sprintf "want %c got %c" c g))
+    in
+    let literal word v =
+      String.iter expect word;
+      v
+    in
+    let string_body () =
+      let b = Buffer.create 16 in
+      let rec go () =
+        match next () with
+        | '"' -> Buffer.contents b
+        | '\\' ->
+          (match next () with
+          | ('"' | '\\' | '/') as c -> Buffer.add_char b c
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+            let h = String.init 4 (fun _ -> next ()) in
+            ignore (int_of_string ("0x" ^ h));
+            Buffer.add_char b '?'
+          | c -> raise (Bad (Printf.sprintf "bad escape %c" c)));
+          go ()
+        | c when Char.code c < 0x20 -> raise (Bad "raw control char in string")
+        | c ->
+          Buffer.add_char b c;
+          go ()
+      in
+      go ()
+    in
+    let number () =
+      let start = !pos in
+      let is_num_char = function
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while (match peek () with Some c -> is_num_char c | None -> false) do
+        incr pos
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> Num f
+      | None -> raise (Bad "bad number")
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+        expect '{';
+        skip_ws ();
+        if peek () = Some '}' then (expect '}'; Obj [])
+        else Obj (members [])
+      | Some '[' ->
+        expect '[';
+        skip_ws ();
+        if peek () = Some ']' then (expect ']'; Arr [])
+        else Arr (elements [])
+      | Some '"' ->
+        expect '"';
+        Str (string_body ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> number ()
+      | None -> raise (Bad "eof")
+    and members acc =
+      skip_ws ();
+      expect '"';
+      let k = string_body () in
+      skip_ws ();
+      expect ':';
+      let v = value () in
+      skip_ws ();
+      match next () with
+      | ',' -> members ((k, v) :: acc)
+      | '}' -> List.rev ((k, v) :: acc)
+      | c -> raise (Bad (Printf.sprintf "bad object sep %c" c))
+    and elements acc =
+      let v = value () in
+      skip_ws ();
+      match next () with
+      | ',' -> elements (v :: acc)
+      | ']' -> List.rev (v :: acc)
+      | c -> raise (Bad (Printf.sprintf "bad array sep %c" c))
+    in
+    let v = value () in
+    skip_ws ();
+    if !pos <> len then raise (Bad "trailing garbage");
+    v
+
+  let member k = function
+    | Obj kvs -> List.assoc_opt k kvs
+    | _ -> None
+
+  let str = function Str s -> Some s | _ -> None
+  let num = function Num f -> Some f | _ -> None
+end
+
+(* --- disabled mode --- *)
+
+let test_disabled_records_nothing () =
+  Obs.disable ();
+  let buffers_before = Obs.Span.buffer_count () in
+  let events_before = List.length (Obs.Span.events ()) in
+  let c = Obs.Metrics.counter "test.disabled" in
+  let v_before = Obs.Metrics.counter_value c in
+  for _ = 1 to 1000 do
+    Obs.Span.with_span "test.off" (fun () -> ());
+    Obs.Metrics.incr c
+  done;
+  check Alcotest.int "no new buffers" buffers_before (Obs.Span.buffer_count ());
+  check Alcotest.int "no new events" events_before
+    (List.length (Obs.Span.events ()));
+  check Alcotest.int "counter untouched" v_before (Obs.Metrics.counter_value c)
+
+let test_disabled_allocates_nothing () =
+  Obs.disable ();
+  let f = Sys.opaque_identity (fun () -> ()) in
+  (* Warm up so any one-time allocation is out of the way. *)
+  for _ = 1 to 100 do
+    Obs.Span.with_span "test.alloc" f
+  done;
+  let iters = 100_000 in
+  let before = Gc.minor_words () in
+  for _ = 1 to iters do
+    Obs.Span.with_span "test.alloc" f
+  done;
+  let words = Gc.minor_words () -. before in
+  (* Zero words per call; allow slack for the Gc.minor_words calls
+     themselves, but far below one word per span. *)
+  if words > float_of_int (iters / 10) then
+    Alcotest.failf "disabled span allocated %.0f minor words over %d calls"
+      words iters
+
+let test_disabled_value_passthrough () =
+  Obs.disable ();
+  check Alcotest.int "result" 42 (Obs.Span.with_span "x" (fun () -> 42));
+  Alcotest.check_raises "exception" Exit (fun () ->
+      Obs.Span.with_span "x" (fun () -> raise Exit))
+
+(* --- metrics --- *)
+
+let test_counter_atomicity_under_pool () =
+  Obs.enable ~spans:false ();
+  let c = Obs.Metrics.counter "test.atomic" in
+  let v0 = Obs.Metrics.counter_value c in
+  let tasks0 = Obs.Metrics.counter_value (Obs.Metrics.counter "pool.tasks") in
+  Pool.with_pool ~domains:4 (fun pool ->
+      ignore
+        (Pool.parallel_map ~chunk:1 pool
+           (fun _ ->
+             for _ = 1 to 1000 do
+               Obs.Metrics.incr c
+             done)
+           (List.init 100 Fun.id)));
+  check Alcotest.int "100 tasks x 1000 increments" (v0 + 100_000)
+    (Obs.Metrics.counter_value c);
+  let tasks = Obs.Metrics.counter_value (Obs.Metrics.counter "pool.tasks") in
+  if tasks <= tasks0 then
+    Alcotest.failf "pool.tasks did not advance (%d -> %d)" tasks0 tasks;
+  Obs.disable ()
+
+let test_metric_kinds_and_values () =
+  Obs.enable ~spans:false ();
+  let c = Obs.Metrics.counter "test.kinds.c" in
+  Obs.Metrics.add c 7;
+  Obs.Metrics.incr c;
+  check Alcotest.int "counter" 8 (Obs.Metrics.counter_value c);
+  let g = Obs.Metrics.gauge "test.kinds.g" in
+  Obs.Metrics.set g 5;
+  Obs.Metrics.set_max g 3;
+  check Alcotest.int "set_max keeps larger" 5 (Obs.Metrics.gauge_value g);
+  Obs.Metrics.set_max g 9;
+  check Alcotest.int "set_max raises" 9 (Obs.Metrics.gauge_value g);
+  let h = Obs.Metrics.histogram "test.kinds.h" in
+  List.iter (Obs.Metrics.observe h) [ 1.0; 2.0; 3.0 ];
+  (match Obs.Metrics.dump ~prefix:"test.kinds.h" () with
+  | [ (_, Obs.Metrics.Histogram hs) ] ->
+    check Alcotest.int "h count" 3 hs.Obs.Metrics.count;
+    check (Alcotest.float 1e-9) "h sum" 6.0 hs.Obs.Metrics.sum
+  | other -> Alcotest.failf "unexpected dump shape (%d entries)" (List.length other));
+  (* Same name, different kind: refused. *)
+  (try
+     ignore (Obs.Metrics.gauge "test.kinds.c");
+     Alcotest.fail "kind mismatch accepted"
+   with Invalid_argument _ -> ());
+  let rendered = Obs.Metrics.render ~prefix:"test.kinds." () in
+  check Alcotest.bool "render has counter line" true
+    (contains rendered "test.kinds.c = 8");
+  Obs.disable ()
+
+let test_watcher () =
+  Obs.enable ~spans:false ();
+  let c = Obs.Metrics.counter "test.watch" in
+  let seen = ref [] in
+  Obs.Metrics.watch c (fun v -> seen := v :: !seen);
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c 2;
+  Obs.Metrics.unwatch c;
+  Obs.Metrics.incr c;
+  check Alcotest.(list int) "watcher saw each update" [ 3; 1 ] !seen;
+  Obs.disable ()
+
+(* --- spans --- *)
+
+let test_span_nesting_and_durations () =
+  Obs.enable ~metrics:false ();
+  Obs.Span.clear ();
+  Obs.Span.with_span "outer" (fun () ->
+      Obs.Span.with_span "inner" (fun () -> ());
+      Obs.Span.with_span "inner" (fun () -> ()));
+  (try Obs.Span.with_span "raiser" (fun () -> raise Exit) with Exit -> ());
+  Obs.disable ();
+  let durations = Obs.Span.durations () in
+  let count name =
+    match List.find_opt (fun (n, _, _) -> n = name) durations with
+    | Some (_, n, _) -> n
+    | None -> 0
+  in
+  check Alcotest.int "outer once" 1 (count "outer");
+  check Alcotest.int "inner twice" 2 (count "inner");
+  check Alcotest.int "raising span still closed" 1 (count "raiser");
+  let _, _, outer_ns = List.find (fun (n, _, _) -> n = "outer") durations in
+  let _, _, inner_ns = List.find (fun (n, _, _) -> n = "inner") durations in
+  if Int64.compare outer_ns inner_ns < 0 then
+    Alcotest.fail "outer span shorter than the inner spans it contains"
+
+let qcheck_spans_well_formed_under_pool =
+  QCheck.Test.make ~count:30 ~name:"span B/E balanced per domain under pool"
+    QCheck.(list_of_size (Gen.int_range 1 20) (int_range 1 5))
+    (fun depths ->
+      Obs.enable ~metrics:false ();
+      Obs.Span.clear ();
+      let rec nest d =
+        if d > 0 then
+          Obs.Span.with_span (Printf.sprintf "q%d" d) (fun () -> nest (d - 1))
+      in
+      Pool.with_pool ~domains:4 (fun pool ->
+          ignore (Pool.parallel_map ~chunk:1 pool nest depths));
+      Obs.disable ();
+      let events = Obs.Span.events () in
+      (* Replay each domain's events against a stack: every E must match
+         the innermost open B, and nothing may stay open. *)
+      let stacks = Hashtbl.create 8 in
+      let ok = ref true in
+      List.iter
+        (fun (ev : Obs.Span.event) ->
+          let stack =
+            match Hashtbl.find_opt stacks ev.Obs.Span.tid with
+            | Some s -> s
+            | None ->
+              let s = ref [] in
+              Hashtbl.add stacks ev.Obs.Span.tid s;
+              s
+          in
+          match ev.Obs.Span.phase with
+          | Obs.Span.B -> stack := ev.Obs.Span.name :: !stack
+          | Obs.Span.E -> (
+            match !stack with
+            | top :: rest when top = ev.Obs.Span.name -> stack := rest
+            | _ -> ok := false))
+        events;
+      Hashtbl.iter (fun _ stack -> if !stack <> [] then ok := false) stacks;
+      let total_depth = List.fold_left ( + ) 0 depths in
+      !ok && List.length events = 2 * total_depth)
+
+(* --- exports --- *)
+
+let test_chrome_trace_valid () =
+  Obs.enable ~metrics:false ();
+  Obs.Span.clear ();
+  Obs.Span.with_span "alpha" (fun () ->
+      Obs.Span.with_span ~args:[ ("k", "quote\"back\\slash\n") ] "beta"
+        (fun () -> ()));
+  Obs.disable ();
+  let json = Json.parse (Obs.Export.chrome_trace ()) in
+  let events =
+    match Json.member "traceEvents" json with
+    | Some (Json.Arr evs) -> evs
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  let phase e = Option.bind (Json.member "ph" e) Json.str in
+  let bs = List.filter (fun e -> phase e = Some "B") events in
+  let es = List.filter (fun e -> phase e = Some "E") events in
+  check Alcotest.int "balanced B/E" (List.length bs) (List.length es);
+  check Alcotest.int "two spans" 2 (List.length bs);
+  List.iter
+    (fun e ->
+      if Json.member "name" e = None then Alcotest.fail "event without name";
+      (match Option.bind (Json.member "pid" e) Json.num with
+      | Some 1.0 -> ()
+      | _ -> Alcotest.fail "pid must be 1");
+      if Option.bind (Json.member "tid" e) Json.num = None then
+        Alcotest.fail "event without tid";
+      match Option.bind (Json.member "ts" e) Json.num with
+      | Some ts when ts >= 0.0 -> ()
+      | _ -> Alcotest.fail "ts missing or negative")
+    (bs @ es);
+  let thread_meta =
+    List.exists
+      (fun e ->
+        phase e = Some "M"
+        && Option.bind (Json.member "name" e) Json.str = Some "thread_name")
+      events
+  in
+  check Alcotest.bool "thread_name metadata present" true thread_meta
+
+let test_metrics_json_valid () =
+  Obs.enable ~spans:false ();
+  Obs.Metrics.add (Obs.Metrics.counter "test.export.c") 11;
+  List.iter
+    (Obs.Metrics.observe (Obs.Metrics.histogram "test.export.h"))
+    [ 1.0; 2.0; 3.0; 4.0 ];
+  Obs.disable ();
+  let json = Json.parse (Obs.Export.metrics_json ()) in
+  (match
+     Option.bind (Json.member "counters" json) (Json.member "test.export.c")
+   with
+  | Some (Json.Num 11.0) -> ()
+  | _ -> Alcotest.fail "counter missing from metrics json");
+  match
+    Option.bind (Json.member "histograms" json) (Json.member "test.export.h")
+  with
+  | Some h ->
+    check
+      (Alcotest.option (Alcotest.float 1e-9))
+      "histogram count" (Some 4.0)
+      (Option.bind (Json.member "count" h) Json.num)
+  | None -> Alcotest.fail "histogram missing from metrics json"
+
+(* --- logging --- *)
+
+let test_log_levels_and_sink () =
+  let lines = ref [] in
+  Dputil.Logf.set_sink (fun level msg ->
+      lines := (Dputil.Logf.level_name level, msg) :: !lines);
+  Obs.Log.set_level Obs.Log.Info;
+  Obs.Log.error "e %d" 1;
+  Obs.Log.warn "w";
+  Obs.Log.info "i";
+  Obs.Log.debug "d(never, costs %s)" (String.make 3 'x');
+  Obs.Log.set_level Obs.Log.Warn;
+  Obs.Log.info "i2";
+  check
+    Alcotest.(list (pair string string))
+    "info threshold passes error/warn/info only"
+    [ ("error", "e 1"); ("warn", "w"); ("info", "i") ]
+    (List.rev !lines);
+  check Alcotest.bool "level_of_string warning" true
+    (Obs.Log.level_of_string "WARNING" = Ok Obs.Log.Warn);
+  check Alcotest.bool "level_of_string junk" true
+    (match Obs.Log.level_of_string "blah" with Error _ -> true | Ok _ -> false);
+  (* Silence the sink for any later logging in this binary. *)
+  Dputil.Logf.set_sink (fun _ _ -> ())
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "disabled",
+        [
+          Alcotest.test_case "records nothing" `Quick
+            test_disabled_records_nothing;
+          Alcotest.test_case "allocates nothing" `Quick
+            test_disabled_allocates_nothing;
+          Alcotest.test_case "value passthrough" `Quick
+            test_disabled_value_passthrough;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter atomicity under pool" `Quick
+            test_counter_atomicity_under_pool;
+          Alcotest.test_case "kinds and values" `Quick
+            test_metric_kinds_and_values;
+          Alcotest.test_case "watcher" `Quick test_watcher;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting and durations" `Quick
+            test_span_nesting_and_durations;
+          qcheck qcheck_spans_well_formed_under_pool;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome trace valid" `Quick test_chrome_trace_valid;
+          Alcotest.test_case "metrics json valid" `Quick test_metrics_json_valid;
+        ] );
+      ( "log",
+        [ Alcotest.test_case "levels and sink" `Quick test_log_levels_and_sink ] );
+    ]
