@@ -6,6 +6,8 @@
      BENCH_SCALE        corpus scale (default 1.0 ≈ one tenth of paper volume)
      BENCH_SEED         corpus seed (default 42)
      BENCH_QUOTA        seconds per Bechamel micro-benchmark (default 0.5)
+     BENCH_ONLY         comma-separated section names to run (e1..e10, rq2,
+                        a1..a3, r1, parallel, micro); unset runs everything
      DRIVEPERF_DOMAINS  default analysis parallelism (default: recommended
                         domain count); the scaling suite sweeps 1/2/4/this *)
 
@@ -631,28 +633,43 @@ let micro () =
     (text_size / 1024) (bin_size / 1024)
     (float_of_int text_size /. float_of_int (max 1 bin_size))
 
+(* BENCH_ONLY=parallel,micro runs just those sections (CI uses this to
+   regenerate the committed baselines without the full evaluation). *)
+let selected =
+  match Sys.getenv_opt "BENCH_ONLY" with
+  | None | Some "" -> None
+  | Some s -> Some (List.map String.trim (String.split_on_char ',' s))
+
+let want name =
+  match selected with None -> true | Some names -> List.mem name names
+
 let () =
   Printf.printf
     "driveperf bench - reproduction of 'Comprehending Performance from\n\
      Real-World Execution Traces: A Device-Driver Case' (ASPLOS'14)\n\
      corpus scale %.2f, seed %d\n"
     scale seed;
-  e1 ();
-  e2 ();
-  e3 ();
-  e4 ();
-  rq2 ();
-  e5 ();
-  e6 ();
-  e7 ();
-  e8 ();
-  e9 ();
-  e10 ();
-  a1 ();
-  a2 ();
-  a3 ();
-  r1 ();
-  parallel_scaling ();
-  micro ();
+  let sections =
+    [
+      ("e1", e1);
+      ("e2", e2);
+      ("e3", e3);
+      ("e4", e4);
+      ("rq2", rq2);
+      ("e5", e5);
+      ("e6", e6);
+      ("e7", e7);
+      ("e8", e8);
+      ("e9", e9);
+      ("e10", e10);
+      ("a1", a1);
+      ("a2", a2);
+      ("a3", a3);
+      ("r1", r1);
+      ("parallel", parallel_scaling);
+      ("micro", micro);
+    ]
+  in
+  List.iter (fun (name, run) -> if want name then run ()) sections;
   Dppar.Pool.shutdown bench_pool;
   print_endline "\nbench complete."

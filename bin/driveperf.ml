@@ -10,6 +10,7 @@
      stats       descriptive corpus statistics
      dot         Graphviz export of a scenario's Aggregated Wait Graph
      witness     trace a mined pattern back to concrete instances
+     explain     provenance drill-down: pattern/component -> raw events
      timeline    ASCII thread timeline of a stream
      anonymize   scrub names structure-preservingly
      import-etw  convert an xperf-style dump
@@ -84,14 +85,22 @@ let load_corpus ?pool ~mode path =
     | Framed ->
       let corpus, report = Dptrace.Codec_v2.load ~mode ?pool path in
       if report.Dptrace.Codec_v2.dropped <> [] then begin
+        let n_dropped = List.length report.Dptrace.Codec_v2.dropped in
+        if Dpobs.metrics_on () then
+          Dpobs.Metrics.add
+            (Dpobs.Metrics.counter "codec.frames_dropped")
+            n_dropped;
+        (* Per-frame {frame; offset; reason} details are debug-level;
+           the warn summary points at the knob that reveals them. *)
         List.iter
           (fun d ->
-            Dpobs.Log.warn "%s: %a" path Dptrace.Codec_v2.pp_diagnostic d)
+            Dpobs.Log.debug "%s: %a" path Dptrace.Codec_v2.pp_diagnostic d)
           report.Dptrace.Codec_v2.dropped;
         Dpobs.Log.warn
-          "%s: recovered %d stream(s) from %d frame(s), %d problem(s)" path
-          report.Dptrace.Codec_v2.streams report.Dptrace.Codec_v2.frames
-          (List.length report.Dptrace.Codec_v2.dropped)
+          "%s: recovered %d stream(s) from %d frame(s), %d problem(s) \
+           (--log-level debug for per-frame details)"
+          path report.Dptrace.Codec_v2.streams report.Dptrace.Codec_v2.frames
+          n_dropped
       end;
       corpus
     | Binary -> Dptrace.Codec_binary.load path
@@ -407,14 +416,16 @@ let causality_cmd =
 
 (* --- report --- *)
 
-let report corpus j mode obs =
+let report corpus json j mode obs =
   with_obs obs @@ fun () ->
   let components = Dpcore.Component.drivers in
+  if json then Dpcore.Provenance.enable ();
   with_cli_pool j @@ fun pool ->
   let corpus = read_corpus ~pool ~mode corpus in
-  Dputil.Table.print
-    (Dpcore.Report.impact_summary
-       (Dpcore.Pipeline.run_impact ~pool components corpus));
+  let impact, impact_prov =
+    Dpcore.Pipeline.run_impact_prov ~pool components corpus
+  in
+  if not json then Dputil.Table.print (Dpcore.Report.impact_summary impact);
   let scenario_names =
     List.map
       (fun (tpl : Dpworkload.Scenarios.template) ->
@@ -427,24 +438,52 @@ let report corpus j mode obs =
         Dpcore.Pipeline.run_all ~pool ~scenarios:scenario_names components
           corpus)
   in
-  let classes = List.map (fun (n, r) -> (n, r.Dpcore.Pipeline.classification)) named in
-  print_newline ();
-  Dputil.Table.print (Dpcore.Report.scenario_classes classes);
-  print_newline ();
-  Dputil.Table.print (Dpcore.Report.coverages named);
-  print_newline ();
-  Dputil.Table.print (Dpcore.Report.ranking named);
-  print_newline ();
-  Dputil.Table.print
-    (Dpcore.Report.driver_types named
-       ~type_names:(List.map Dpworkload.Taxonomy.type_name Dpworkload.Taxonomy.all_types)
-       ~type_of:Dpworkload.Taxonomy.type_name_of_signature);
+  if json then begin
+    let graphs =
+      Dpcore.Pipeline.build_graphs ~pool corpus
+        (Dptrace.Corpus.all_instances corpus)
+    in
+    let modules = Dpcore.Impact.by_module components graphs in
+    print_string
+      (Dputil.Jsonw.to_string
+         (Dpcore.Report.Json.document ~impact ~impact_prov ~modules
+            ~scenarios:named))
+  end
+  else begin
+    let classes =
+      List.map (fun (n, r) -> (n, r.Dpcore.Pipeline.classification)) named
+    in
+    print_newline ();
+    Dputil.Table.print (Dpcore.Report.scenario_classes classes);
+    print_newline ();
+    Dputil.Table.print (Dpcore.Report.coverages named);
+    print_newline ();
+    Dputil.Table.print (Dpcore.Report.ranking named);
+    print_newline ();
+    Dputil.Table.print
+      (Dpcore.Report.driver_types named
+         ~type_names:
+           (List.map Dpworkload.Taxonomy.type_name Dpworkload.Taxonomy.all_types)
+         ~type_of:Dpworkload.Taxonomy.type_name_of_signature)
+  end;
   0
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Emit the same results as one structured JSON document on \
+           stdout instead of text tables. Enables provenance recording, \
+           so every impact figure, module row and mined pattern carries \
+           the trace events and scenario instances behind it.")
 
 let report_cmd =
   Cmd.v
     (Cmd.info "report" ~doc:"Regenerate the paper's tables")
-    Term.(const report $ corpus_arg $ domains_arg $ mode_arg $ obs_opts_term)
+    Term.(
+      const report $ corpus_arg $ json_arg $ domains_arg $ mode_arg
+      $ obs_opts_term)
 
 (* --- case --- *)
 
@@ -769,6 +808,147 @@ let witness_cmd =
        ~doc:"Trace a mined pattern back to concrete scenario instances")
     Term.(const witness $ corpus_arg $ scenario $ rank $ limit $ mode_arg)
 
+(* --- explain: provenance-tracked drill-down --- *)
+
+let explain_component ~pool components corpus name =
+  let _impact, prov = Dpcore.Pipeline.run_impact_prov ~pool components corpus in
+  match List.assoc_opt name prov.Dpcore.Provenance.by_module with
+  | None ->
+    Printf.eprintf "no provenance recorded for module %s (known: %s)\n" name
+      (String.concat ", " (List.map fst prov.Dpcore.Provenance.by_module));
+    1
+  | Some topk ->
+    let records = Dpcore.Provenance.Topk.to_list topk in
+    Format.printf
+      "module %s: %d costliest distinct wait events behind its \
+       D_wait/D_waitdist@."
+      name (List.length records);
+    List.iteri
+      (fun i wr ->
+        Format.printf "@.#%d  %a@." (i + 1) Dpcore.Provenance.pp_wait_record wr;
+        match Dpcore.Explorer.resolve_ref corpus wr.Dpcore.Provenance.wr_ref with
+        | Some (st, _inst) ->
+          print_string
+            (Dpcore.Explorer.render_event_window st
+               ~event_id:wr.Dpcore.Provenance.wr_event)
+        | None -> ())
+      records;
+    0
+
+let explain_pattern ~pool components corpus scenario rank limit =
+  let r = Dpcore.Pipeline.run_scenario ~pool components corpus scenario in
+  let patterns = r.Dpcore.Pipeline.mining.Dpcore.Mining.patterns in
+  match List.nth_opt patterns (rank - 1) with
+  | None ->
+    Printf.eprintf "only %d patterns mined for %s\n" (List.length patterns)
+      scenario;
+    1
+  | Some pattern ->
+    Format.printf "scenario %s, contrast pattern #%d of %d:@.%a@." scenario
+      rank (List.length patterns) Dpcore.Mining.pp_pattern pattern;
+    (* 1. The aggregated propagation paths this tuple came from. *)
+    let paths =
+      List.filter
+        (fun path ->
+          Dpcore.Tuple.equal (Dpcore.Tuple.of_segment path)
+            pattern.Dpcore.Mining.tuple)
+        (Dpcore.Awg.full_paths r.Dpcore.Pipeline.slow_awg)
+    in
+    Format.printf "@.aggregated propagation path(s) in the slow-class AWG:@.";
+    List.iteri
+      (fun i path ->
+        Format.printf "path #%d:@." (i + 1);
+        List.iteri
+          (fun depth (node : Dpcore.Awg.node) ->
+            Format.printf "%s%a  C=%a N=%d max=%a@."
+              (String.make (2 * (depth + 1)) ' ')
+              Dpcore.Awg.status_pp node.Dpcore.Awg.status Dputil.Time.pp
+              node.Dpcore.Awg.cost node.Dpcore.Awg.count Dputil.Time.pp
+              node.Dpcore.Awg.max_cost)
+          path)
+      paths;
+    (* 2. The scenario instances the aggregation recorded as support. *)
+    let entries = Dpcore.Provenance.Wset.entries pattern.Dpcore.Mining.witnesses in
+    Format.printf "@.slow-class witness instances (provenance, cost-ranked):@.";
+    List.iter
+      (fun (iref, cost, count) ->
+        Format.printf "  %a  contributed=%a over %d event(s)@."
+          Dpcore.Provenance.pp_ref iref Dputil.Time.pp cost count)
+      entries;
+    let fast = Dpcore.Provenance.Wset.entries pattern.Dpcore.Mining.fast_witnesses in
+    if fast <> [] then
+      Format.printf
+        "fast-class counterparts: %d instance(s), costliest %a@."
+        (List.length fast)
+        Dputil.Time.pp
+        (match fast with (_, c, _) :: _ -> c | [] -> 0);
+    (* 3. Concrete matched chains with raw event windows. *)
+    let ws =
+      Dpcore.Explorer.witnesses ~limit components corpus ~scenario ~pattern ()
+    in
+    if ws = [] then print_endline "\nno concrete witness chain found"
+    else
+      List.iter
+        (fun w ->
+          print_newline ();
+          print_string (Dpcore.Explorer.render w);
+          print_string (Dpcore.Explorer.render_chain_events w))
+        ws;
+    0
+
+let explain corpus scenario rank component limit j mode obs =
+  with_obs obs @@ fun () ->
+  Dpcore.Provenance.enable ();
+  let components = Dpcore.Component.drivers in
+  with_cli_pool j @@ fun pool ->
+  let corpus = read_corpus ~pool ~mode corpus in
+  match (component, scenario) with
+  | Some name, _ -> explain_component ~pool components corpus name
+  | None, Some scenario ->
+    explain_pattern ~pool components corpus scenario rank limit
+  | None, None ->
+    prerr_endline
+      "explain: give a SCENARIO (pattern drill-down) or --component MODULE";
+    1
+
+let explain_cmd =
+  let scenario =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"SCENARIO"
+          ~doc:"Scenario whose ranked contrast pattern to explain.")
+  in
+  let rank =
+    Arg.(
+      value & opt int 1
+      & info [ "rank"; "pattern" ] ~docv:"N"
+          ~doc:"Which ranked pattern to drill into (1-based, default 1).")
+  in
+  let component =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "component"; "module" ] ~docv:"MODULE"
+          ~doc:
+            "Explain a component module (e.g. storahci.sys) instead: the \
+             top-K costliest distinct wait events behind its impact \
+             figures, each with its raw trace window.")
+  in
+  let limit =
+    Arg.(
+      value & opt int 2
+      & info [ "limit" ] ~docv:"N" ~doc:"Concrete witness chains to print.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Drill an analysis result down to the raw trace events behind it \
+          (pattern -> AWG path -> witness instances -> event windows)")
+    Term.(
+      const explain $ corpus_arg $ scenario $ rank $ component $ limit
+      $ domains_arg $ mode_arg $ obs_opts_term)
+
 (* --- stats --- *)
 
 let stats corpus mode obs =
@@ -840,9 +1020,41 @@ let timeline_cmd =
 
 (* --- analyze: the one-shot full report --- *)
 
-let analyze corpus_path out top_patterns_n j mode obs =
+let analyze corpus_path out json top_patterns_n j mode obs =
   with_obs obs @@ fun () ->
   let components = Dpcore.Component.drivers in
+  if json then begin
+    Dpcore.Provenance.enable ();
+    with_cli_pool j @@ fun pool ->
+    let corpus = read_corpus ~pool ~mode corpus_path in
+    let impact, impact_prov =
+      Dpcore.Pipeline.run_impact_prov ~pool components corpus
+    in
+    let graphs =
+      Dpcore.Pipeline.build_graphs ~pool corpus
+        (Dptrace.Corpus.all_instances corpus)
+    in
+    let modules = Dpcore.Impact.by_module components graphs in
+    let named =
+      with_progress obs ~label:"scenarios"
+        ~total:(List.length (Dptrace.Corpus.scenario_names corpus))
+        "pipeline.scenarios_done" (fun () ->
+          Dpcore.Pipeline.run_all ~pool components corpus)
+    in
+    let doc =
+      Dpcore.Report.Json.document ~impact ~impact_prov ~modules
+        ~scenarios:named
+    in
+    (match out with
+    | Some path ->
+      let oc = open_out path in
+      Dputil.Jsonw.output oc doc;
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+    | None -> Dputil.Jsonw.output stdout doc);
+    0
+  end
+  else begin
   with_cli_pool j @@ fun pool ->
   let corpus = read_corpus ~pool ~mode corpus_path in
   let buf = Buffer.create 65536 in
@@ -947,6 +1159,7 @@ let analyze corpus_path out top_patterns_n j mode obs =
     Printf.printf "wrote %s\n" path
   | None -> Buffer.output_buffer stdout buf);
   0
+  end
 
 let analyze_cmd =
   let out =
@@ -964,8 +1177,8 @@ let analyze_cmd =
     (Cmd.info "analyze"
        ~doc:"Produce the full analyst report (impact + causality + witnesses)")
     Term.(
-      const analyze $ corpus_arg $ out $ top $ domains_arg $ mode_arg
-      $ obs_opts_term)
+      const analyze $ corpus_arg $ out $ json_arg $ top $ domains_arg
+      $ mode_arg $ obs_opts_term)
 
 let main_cmd =
   let doc = "trace-based performance comprehension for device drivers" in
@@ -986,8 +1199,13 @@ let main_cmd =
       baseline_cmd;
       stats_cmd;
       witness_cmd;
+      explain_cmd;
       analyze_cmd;
       timeline_cmd;
     ]
 
-let () = exit (Cmd.eval' main_cmd)
+(* Arm DRIVEPERF_LOG before command dispatch so the level also applies to
+   commands without observability flags (e.g. validate). *)
+let () =
+  Dpobs.Log.init_from_env ();
+  exit (Cmd.eval' main_cmd)

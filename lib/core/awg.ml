@@ -12,6 +12,7 @@ type node = {
   mutable cost : Dputil.Time.t;
   mutable count : int;
   mutable max_cost : Dputil.Time.t;
+  mutable witnesses : Provenance.Wset.t;
   children : (status, node) Hashtbl.t;
 }
 
@@ -69,9 +70,16 @@ let convert components (g : Wait_graph.t) =
   List.concat_map conv g.Wait_graph.roots
 
 let fresh_node status =
-  { status; cost = 0; count = 0; max_cost = 0; children = Hashtbl.create 4 }
+  {
+    status;
+    cost = 0;
+    count = 0;
+    max_cost = 0;
+    witnesses = Provenance.Wset.empty;
+    children = Hashtbl.create 4;
+  }
 
-let rec merge_into table (c : cnode) =
+let rec merge_into ?src table (c : cnode) =
   let n =
     match Hashtbl.find_opt table c.cstatus with
     | Some n -> n
@@ -83,7 +91,10 @@ let rec merge_into table (c : cnode) =
   n.cost <- n.cost + c.ccost;
   n.count <- n.count + 1;
   if c.ccost > n.max_cost then n.max_cost <- c.ccost;
-  List.iter (merge_into n.children) c.ckids
+  (match src with
+  | Some r -> n.witnesses <- Provenance.Wset.add n.witnesses r ~cost:c.ccost
+  | None -> ());
+  List.iter (merge_into ?src n.children) c.ckids
 
 let is_hw_leaf n =
   match n.status with Hw _ -> Hashtbl.length n.children = 0 | _ -> false
@@ -134,7 +145,18 @@ let build ?pool ?(reduce = true) components graphs =
     | None -> List.map (convert components) graphs
   in
   let forest : (status, node) Hashtbl.t = Hashtbl.create 64 in
-  List.iter (List.iter (merge_into forest)) converted;
+  (* When provenance is on, the merge also folds each source graph's
+     scenario instance into the witness set of every node it touches.
+     The witness add is commutative over instances (per-ref sums with a
+     deterministic re-sort), so this doesn't disturb the bit-identity of
+     the sequential merge. *)
+  if Provenance.enabled () then
+    List.iter2
+      (fun (g : Wait_graph.t) cnodes ->
+        let src = Provenance.ref_of g.Wait_graph.stream g.Wait_graph.instance in
+        List.iter (merge_into ~src forest) cnodes)
+      graphs converted
+  else List.iter (List.iter (merge_into forest)) converted;
   let stats =
     if reduce then reduce_forest forest
     else

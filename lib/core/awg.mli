@@ -32,6 +32,10 @@ type node = private {
   mutable max_cost : Dputil.Time.t;
       (** Largest single source-event cost; feeds the automated
           high-impact rule of Section 5.2.1. *)
+  mutable witnesses : Provenance.Wset.t;
+      (** Contributing (stream, scenario instance) support, capped to the
+          costliest {!Provenance.default_k} entries. Empty unless
+          {!Provenance.enabled} was true during {!build}. *)
   children : (status, node) Hashtbl.t;
 }
 

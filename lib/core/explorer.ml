@@ -120,3 +120,62 @@ let render w =
            Dputil.Time.pp e.Event.cost top))
     w.chain;
   Buffer.contents buf
+
+let resolve_ref (corpus : Dptrace.Corpus.t) (r : Provenance.instance_ref) =
+  match
+    List.find_opt
+      (fun (st : Dptrace.Stream.t) ->
+        st.Dptrace.Stream.id = r.Provenance.stream_id)
+      corpus.Dptrace.Corpus.streams
+  with
+  | None -> None
+  | Some st ->
+    Option.map
+      (fun inst -> (st, inst))
+      (List.find_opt
+         (fun (i : Dptrace.Scenario.instance) ->
+           i.Dptrace.Scenario.scenario = r.Provenance.scenario
+           && i.Dptrace.Scenario.tid = r.Provenance.tid
+           && i.Dptrace.Scenario.t0 = r.Provenance.t0
+           && i.Dptrace.Scenario.t1 = r.Provenance.t1)
+         st.Dptrace.Stream.instances)
+
+let render_event_line (st : Dptrace.Stream.t) (e : Event.t) =
+  let top =
+    match Dptrace.Callstack.top e.Event.stack with
+    | Some s -> Signature.name s
+    | None -> "<empty>"
+  in
+  Format.asprintf "[%a, %a] %-8s %-14s C=%a  %s"
+    Dputil.Time.pp e.Event.ts Dputil.Time.pp (Event.end_ts e)
+    (Event.kind_to_string e.Event.kind)
+    (Dptrace.Stream.thread_name st e.Event.tid)
+    Dputil.Time.pp e.Event.cost top
+
+let render_chain_events w =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Format.asprintf "raw events of the matched chain (stream %d):\n"
+       w.stream.Dptrace.Stream.id);
+  List.iter
+    (fun e ->
+      Buffer.add_string buf "  ";
+      Buffer.add_string buf (render_event_line w.stream e);
+      Buffer.add_char buf '\n')
+    w.chain;
+  Buffer.contents buf
+
+let render_event_window ?(context = 3) (st : Dptrace.Stream.t) ~event_id =
+  let events = st.Dptrace.Stream.events in
+  if event_id < 0 || event_id >= Array.length events then ""
+  else begin
+    let lo = max 0 (event_id - context) in
+    let hi = min (Array.length events - 1) (event_id + context) in
+    let buf = Buffer.create 512 in
+    for i = lo to hi do
+      Buffer.add_string buf (if i = event_id then "  > " else "    ");
+      Buffer.add_string buf (render_event_line st events.(i));
+      Buffer.add_char buf '\n'
+    done;
+    Buffer.contents buf
+  end

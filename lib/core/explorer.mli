@@ -35,3 +35,23 @@ val witnesses :
 val render : witness -> string
 (** Figure-1-style narrative: the instance, its duration, and the matched
     propagation chain hop by hop with thread names and costs. *)
+
+(** {1 Drill-down helpers (driveperf explain)} *)
+
+val resolve_ref :
+  Dptrace.Corpus.t ->
+  Provenance.instance_ref ->
+  (Dptrace.Stream.t * Dptrace.Scenario.instance) option
+(** Resolve a provenance reference back to its stream and scenario
+    instance in the loaded corpus ([None] if the corpus differs from the
+    one the provenance was recorded on). *)
+
+val render_chain_events : witness -> string
+(** The witness's matched chain as raw trace events, one per line, with
+    absolute [\[ts, te\]] windows, kind, thread and cost. *)
+
+val render_event_window :
+  ?context:int -> Dptrace.Stream.t -> event_id:int -> string
+(** The raw stream window around one event id: [context] (default 3)
+    events either side, the subject line marked with [>]. Empty string
+    for an out-of-range id. *)

@@ -22,7 +22,7 @@ let empty =
     counted_runs = 0;
   }
 
-let analyze_graphs components graphs =
+let analyze_graphs_into ?collector components graphs =
   (* (stream id, event id) → cost, across all instances: the distinct-wait
      set whose total is d_waitdist. *)
   let distinct : (int * int, Dputil.Time.t) Hashtbl.t = Hashtbl.create 1024 in
@@ -30,6 +30,9 @@ let analyze_graphs components graphs =
   let measure_graph (g : Wait_graph.t) =
     let stream_id = g.Wait_graph.stream.Dptrace.Stream.id in
     let d_scn = Dptrace.Scenario.duration g.Wait_graph.instance in
+    let iref =
+      lazy (Provenance.ref_of g.Wait_graph.stream g.Wait_graph.instance)
+    in
     (* Top-level component waits: BFS that counts a matching wait and does
        not descend into it. Per-graph visited set keeps the DAG linear. *)
     let visited : (int, unit) Hashtbl.t = Hashtbl.create 64 in
@@ -42,7 +45,14 @@ let analyze_graphs components graphs =
         then begin
           d_wait := !d_wait + e.Event.cost;
           incr counted_waits;
-          Hashtbl.replace distinct (stream_id, e.Event.id) e.Event.cost
+          Hashtbl.replace distinct (stream_id, e.Event.id) e.Event.cost;
+          match collector with
+          | Some c ->
+            let signature = Component.event_signature_or_top components e in
+            Provenance.Collector.record_wait c
+              ~module_name:(Dptrace.Signature.module_part signature)
+              ~stream_id ~instance:(Lazy.force iref) ~event:e ~signature
+          | None -> ()
         end
         else List.iter bfs n.Wait_graph.children
       end
@@ -55,7 +65,13 @@ let analyze_graphs components graphs =
         if Event.is_running e && Component.stack_relevant components e.Event.stack
         then begin
           d_run := !d_run + e.Event.cost;
-          incr counted_runs
+          incr counted_runs;
+          match collector with
+          | Some c ->
+            let signature = Component.event_signature_or_top components e in
+            Provenance.Collector.record_run c ~stream_id
+              ~instance:(Lazy.force iref) ~event:e ~signature
+          | None -> ()
         end);
     acc :=
       {
@@ -72,6 +88,17 @@ let analyze_graphs components graphs =
   let d_waitdist = Hashtbl.fold (fun _ cost total -> total + cost) distinct 0 in
   { !acc with d_waitdist }
 
+let analyze_graphs components graphs = analyze_graphs_into components graphs
+
+let analyze_graphs_prov components graphs =
+  if not (Provenance.enabled ()) then
+    (analyze_graphs_into components graphs, Provenance.empty_impact)
+  else begin
+    let collector = Provenance.Collector.create () in
+    let r = analyze_graphs_into ~collector components graphs in
+    (r, Provenance.Collector.impact collector)
+  end
+
 let merge a b =
   {
     d_scn = a.d_scn + b.d_scn;
@@ -86,6 +113,11 @@ let merge a b =
 let analyze_stream components (st : Dptrace.Stream.t) =
   let index = Dptrace.Stream.shared_index st in
   analyze_graphs components
+    (List.map (Wait_graph.build ~index st) st.Dptrace.Stream.instances)
+
+let analyze_stream_prov components (st : Dptrace.Stream.t) =
+  let index = Dptrace.Stream.shared_index st in
+  analyze_graphs_prov components
     (List.map (Wait_graph.build ~index st) st.Dptrace.Stream.instances)
 
 let analyze ?pool components (corpus : Dptrace.Corpus.t) =
@@ -104,6 +136,28 @@ let analyze ?pool components (corpus : Dptrace.Corpus.t) =
     List.fold_left
       (fun acc st -> merge acc (analyze_stream components st))
       empty streams
+
+let analyze_prov ?pool components (corpus : Dptrace.Corpus.t) =
+  (* Same per-stream reduction as [analyze]. Provenance merges exactly
+     too: records are keyed by (stream, event), streams are disjoint
+     across the reduction, and reservoirs are association-independent. *)
+  if not (Provenance.enabled ()) then
+    (analyze ?pool components corpus, Provenance.empty_impact)
+  else
+    let streams = corpus.Dptrace.Corpus.streams in
+    let merge2 (r1, p1) (r2, p2) =
+      (merge r1 r2, Provenance.merge_impact p1 p2)
+    in
+    let init = (empty, Provenance.empty_impact) in
+    (match pool with
+    | Some pool ->
+      Dppar.Pool.parallel_map_reduce pool
+        ~map:(analyze_stream_prov components)
+        ~reduce:merge2 ~init streams
+    | None ->
+      List.fold_left
+        (fun acc st -> merge2 acc (analyze_stream_prov components st))
+        init streams)
 
 let fdiv a b = Dputil.Stats.ratio (float_of_int a) (float_of_int b)
 

@@ -44,6 +44,23 @@ val analyze : ?pool:Dppar.Pool.t -> Component.t -> Dptrace.Corpus.t -> result
     reduction is associative over disjoint streams, so the parallel result
     is bit-identical to the sequential one. *)
 
+val analyze_graphs_prov :
+  Component.t -> Dpwaitgraph.Wait_graph.t list -> result * Provenance.impact
+(** {!analyze_graphs} that additionally returns the provenance of the
+    measured numbers: the top-K costliest distinct wait and running
+    events, globally and per module. When {!Provenance.enabled} is false
+    this is exactly [(analyze_graphs ..., Provenance.empty_impact)] and
+    does no extra work. *)
+
+val analyze_prov :
+  ?pool:Dppar.Pool.t ->
+  Component.t ->
+  Dptrace.Corpus.t ->
+  result * Provenance.impact
+(** {!analyze} plus provenance; same per-stream reduction, and the
+    provenance merge is exact over disjoint streams, so parallel and
+    sequential runs agree. *)
+
 val ia_run : result -> float
 (** Fraction in [\[0,1\]]. *)
 

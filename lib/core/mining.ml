@@ -5,18 +5,39 @@ module Tuple_table = Hashtbl.Make (struct
   let hash = Tuple.hash
 end)
 
-type meta = { tuple : Tuple.t; cost : Dputil.Time.t; count : int }
+type meta = {
+  tuple : Tuple.t;
+  cost : Dputil.Time.t;
+  count : int;
+  m_witnesses : Provenance.Wset.t;
+}
 
 type contrast_reason = Slow_only | Cost_ratio of float
 
-type contrast_meta = { cm_meta : meta; reason : contrast_reason }
+type contrast_meta = {
+  cm_meta : meta;
+  reason : contrast_reason;
+  cm_fast_witnesses : Provenance.Wset.t;
+}
 
 type pattern = {
   tuple : Tuple.t;
   cost : Dputil.Time.t;
   count : int;
   max_single : Dputil.Time.t;
+  witnesses : Provenance.Wset.t;
+  fast_witnesses : Provenance.Wset.t;
 }
+
+let make_pattern ~tuple ~cost ~count ~max_single =
+  {
+    tuple;
+    cost;
+    count;
+    max_single;
+    witnesses = Provenance.Wset.empty;
+    fast_witnesses = Provenance.Wset.empty;
+  }
 
 type result = {
   contrast_metas : contrast_meta list;
@@ -28,6 +49,7 @@ type result = {
 let default_k = 5
 
 let meta_table awg ~k =
+  let prov = Provenance.enabled () in
   let table : meta Tuple_table.t = Tuple_table.create 256 in
   Awg.iter_segments awg ~k ~f:(fun segment ->
       let tuple = Tuple.of_segment segment in
@@ -36,8 +58,24 @@ let meta_table awg ~k =
       match Tuple_table.find_opt table tuple with
       | Some m ->
         Tuple_table.replace table tuple
-          { m with cost = m.cost + cost; count = m.count + count }
-      | None -> Tuple_table.replace table tuple { tuple; cost; count });
+          {
+            m with
+            cost = m.cost + cost;
+            count = m.count + count;
+            m_witnesses =
+              (if prov then
+                 Provenance.Wset.union m.m_witnesses last.Awg.witnesses
+               else m.m_witnesses);
+          }
+      | None ->
+        Tuple_table.replace table tuple
+          {
+            tuple;
+            cost;
+            count;
+            m_witnesses =
+              (if prov then last.Awg.witnesses else Provenance.Wset.empty);
+          });
   table
 
 let enumerate_metas awg ~k =
@@ -51,11 +89,22 @@ let discover_contrasts ~fast_table ~slow_table ~ratio_threshold =
   Tuple_table.fold
     (fun tuple (slow_meta : meta) acc ->
       match Tuple_table.find_opt fast_table tuple with
-      | None -> { cm_meta = slow_meta; reason = Slow_only } :: acc
+      | None ->
+        {
+          cm_meta = slow_meta;
+          reason = Slow_only;
+          cm_fast_witnesses = Provenance.Wset.empty;
+        }
+        :: acc
       | Some fast_meta ->
         let ratio = Dputil.Stats.ratio (avg_of slow_meta) (avg_of fast_meta) in
         if ratio > ratio_threshold then
-          { cm_meta = slow_meta; reason = Cost_ratio ratio } :: acc
+          {
+            cm_meta = slow_meta;
+            reason = Cost_ratio ratio;
+            cm_fast_witnesses = fast_meta.m_witnesses;
+          }
+          :: acc
         else acc)
     slow_table []
   |> List.sort (fun a b -> Tuple.compare a.cm_meta.tuple b.cm_meta.tuple)
@@ -63,14 +112,15 @@ let discover_contrasts ~fast_table ~slow_table ~ratio_threshold =
 let avg_cost p = Dputil.Stats.ratio (float_of_int p.cost) (float_of_int p.count)
 
 let select_patterns ~slow ~contrast_metas =
+  let prov = Provenance.enabled () in
   let table : pattern Tuple_table.t = Tuple_table.create 128 in
   List.iter
     (fun path ->
       let tuple = Tuple.of_segment path in
-      let contains_contrast =
-        List.exists (fun cm -> Tuple.subset cm.cm_meta.tuple tuple) contrast_metas
+      let matching =
+        List.filter (fun cm -> Tuple.subset cm.cm_meta.tuple tuple) contrast_metas
       in
-      if contains_contrast then begin
+      if matching <> [] then begin
         let leaf = List.nth path (List.length path - 1) in
         let root = List.hd path in
         let cost = leaf.Awg.cost
@@ -81,6 +131,16 @@ let select_patterns ~slow ~contrast_metas =
            T_slow (a leaf's device stall never exceeds a scenario
            threshold; the stacked wait it propagates into does). *)
         and max_single = root.Awg.max_cost in
+        let witnesses =
+          if prov then leaf.Awg.witnesses else Provenance.Wset.empty
+        in
+        let fast_witnesses =
+          if prov then
+            List.fold_left
+              (fun acc cm -> Provenance.Wset.union acc cm.cm_fast_witnesses)
+              Provenance.Wset.empty matching
+          else Provenance.Wset.empty
+        in
         match Tuple_table.find_opt table tuple with
         | Some p ->
           Tuple_table.replace table tuple
@@ -89,8 +149,17 @@ let select_patterns ~slow ~contrast_metas =
               cost = p.cost + cost;
               count = p.count + count;
               max_single = max p.max_single max_single;
+              witnesses =
+                (if prov then Provenance.Wset.union p.witnesses witnesses
+                 else p.witnesses);
+              fast_witnesses =
+                (if prov then
+                   Provenance.Wset.union p.fast_witnesses fast_witnesses
+                 else p.fast_witnesses);
             }
-        | None -> Tuple_table.replace table tuple { tuple; cost; count; max_single }
+        | None ->
+          Tuple_table.replace table tuple
+            { tuple; cost; count; max_single; witnesses; fast_witnesses }
       end)
     (Awg.full_paths slow);
   Tuple_table.fold (fun _ p acc -> p :: acc) table []

@@ -15,13 +15,26 @@
       identical tuples merge their [P.C] and [P.N]. Patterns are ranked by
       average execution cost [P.C/P.N], highest impact first. *)
 
-type meta = { tuple : Tuple.t; cost : Dputil.Time.t; count : int }
+type meta = {
+  tuple : Tuple.t;
+  cost : Dputil.Time.t;
+  count : int;
+  m_witnesses : Provenance.Wset.t;
+      (** Instances supporting the segments merged into this meta (empty
+          unless {!Provenance.enabled}). *)
+}
 
 type contrast_reason =
   | Slow_only
   | Cost_ratio of float  (** Per-occurrence slow/fast cost ratio. *)
 
-type contrast_meta = { cm_meta : meta; reason : contrast_reason }
+type contrast_meta = {
+  cm_meta : meta;
+  reason : contrast_reason;
+  cm_fast_witnesses : Provenance.Wset.t;
+      (** Fast-class instances the same tuple matched — the other side of
+          a [Cost_ratio] contrast; empty for [Slow_only]. *)
+}
 
 type pattern = {
   tuple : Tuple.t;
@@ -33,7 +46,21 @@ type pattern = {
           explains); drives the automated high-impact classification of
           Section 5.2.1, which asks whether some execution exceeded
           [T_slow]. *)
+  witnesses : Provenance.Wset.t;
+      (** Slow-class instances supporting the merged paths' leaves, with
+          per-instance contributed cost. *)
+  fast_witnesses : Provenance.Wset.t;
+      (** Fast-class instances matched by the contrast metas this pattern
+          contains. *)
 }
+
+val make_pattern :
+  tuple:Tuple.t ->
+  cost:Dputil.Time.t ->
+  count:int ->
+  max_single:Dputil.Time.t ->
+  pattern
+(** A pattern with empty witness sets — for tests and synthetic tables. *)
 
 type result = {
   contrast_metas : contrast_meta list;

@@ -3,6 +3,7 @@ module Wait_graph = Dpwaitgraph.Wait_graph
 type scenario_result = {
   classification : Classify.t;
   slow_impact : Impact.result;
+  slow_impact_prov : Provenance.impact;
   fast_awg : Awg.t;
   slow_awg : Awg.t;
   mining : Mining.result;
@@ -66,8 +67,9 @@ let run_scenario ?pool ?(k = Mining.default_k) ?(reduce = true) components
   in
   let fast_graphs = build_graphs ?pool corpus classification.Classify.fast in
   let slow_graphs = build_graphs ?pool corpus classification.Classify.slow in
-  let slow_impact =
-    span "pipeline.impact" (fun () -> Impact.analyze_graphs components slow_graphs)
+  let slow_impact, slow_impact_prov =
+    span "pipeline.impact" (fun () ->
+        Impact.analyze_graphs_prov components slow_graphs)
   in
   let fast_awg =
     span "pipeline.awg_build" (fun () ->
@@ -95,9 +97,20 @@ let run_scenario ?pool ?(k = Mining.default_k) ?(reduce = true) components
           ~tslow:classification.Classify.spec.Dptrace.Scenario.tslow
           ~driver_cost)
   in
-  { classification; slow_impact; fast_awg; slow_awg; mining; coverages }
+  {
+    classification;
+    slow_impact;
+    slow_impact_prov;
+    fast_awg;
+    slow_awg;
+    mining;
+    coverages;
+  }
 
 let run_impact ?pool components corpus = Impact.analyze ?pool components corpus
+
+let run_impact_prov ?pool components corpus =
+  Impact.analyze_prov ?pool components corpus
 
 let impact_per_scenario ?pool components corpus =
   (* Scenario-level fan-out; graph building inside each scenario stays

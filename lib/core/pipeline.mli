@@ -18,6 +18,9 @@ type scenario_result = {
   classification : Classify.t;
   slow_impact : Impact.result;
       (** Component impact measured over the slow class only. *)
+  slow_impact_prov : Provenance.impact;
+      (** Provenance of [slow_impact] ({!Provenance.empty_impact} unless
+          {!Provenance.enabled} during the run). *)
   fast_awg : Awg.t;
   slow_awg : Awg.t;
   mining : Mining.result;
@@ -66,6 +69,14 @@ val run_impact :
   ?pool:Dppar.Pool.t -> Component.t -> Dptrace.Corpus.t -> Impact.result
 (** Whole-corpus impact analysis (Section 5.1). [pool] fans the
     per-stream measurement out across domains (see {!Impact.analyze}). *)
+
+val run_impact_prov :
+  ?pool:Dppar.Pool.t ->
+  Component.t ->
+  Dptrace.Corpus.t ->
+  Impact.result * Provenance.impact
+(** {!run_impact} plus the provenance of the measured numbers (see
+    {!Impact.analyze_prov}). *)
 
 val impact_per_scenario :
   ?pool:Dppar.Pool.t ->

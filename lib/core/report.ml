@@ -243,3 +243,182 @@ let awg_summary awg =
     (Awg.total_leaf_cost awg) red.Awg.pruned_roots Dputil.Time.pp
     red.Awg.pruned_cost Dputil.Time.pp red.Awg.total_root_cost
     (100.0 *. Awg.non_optimizable_fraction awg)
+
+(* --- machine-readable twins ------------------------------------------- *)
+
+module Json = struct
+  module J = Dputil.Jsonw
+
+  let of_ref (r : Provenance.instance_ref) =
+    J.Obj
+      [
+        ("stream", J.int r.Provenance.stream_id);
+        ("scenario", J.str r.Provenance.scenario);
+        ("tid", J.int r.Provenance.tid);
+        ("t0", J.time r.Provenance.t0);
+        ("t1", J.time r.Provenance.t1);
+      ]
+
+  let of_wait_record (w : Provenance.wait_record) =
+    J.Obj
+      [
+        ("signature", J.str (Dptrace.Signature.name w.Provenance.wr_signature));
+        ("event", J.int w.Provenance.wr_event);
+        ("ts", J.time w.Provenance.wr_ts);
+        ("te", J.time w.Provenance.wr_te);
+        ("cost", J.time w.Provenance.wr_cost);
+        ("multiplicity", J.int w.Provenance.wr_multiplicity);
+        ("instance", of_ref w.Provenance.wr_ref);
+      ]
+
+  let of_topk k = J.Arr (List.map of_wait_record (Provenance.Topk.to_list k))
+
+  let of_wset ws =
+    J.Arr
+      (List.map
+         (fun (r, cost, count) ->
+           J.Obj
+             [
+               ("stream", J.int r.Provenance.stream_id);
+               ("scenario", J.str r.Provenance.scenario);
+               ("tid", J.int r.Provenance.tid);
+               ("t0", J.time r.Provenance.t0);
+               ("t1", J.time r.Provenance.t1);
+               ("cost", J.time cost);
+               ("occurrences", J.int count);
+             ])
+         (Provenance.Wset.entries ws))
+
+  let of_impact ?prov (r : Impact.result) =
+    let base =
+      [
+        ("instances", J.int r.Impact.instances);
+        ("d_scn", J.time r.Impact.d_scn);
+        ("d_wait", J.time r.Impact.d_wait);
+        ("d_run", J.time r.Impact.d_run);
+        ("d_waitdist", J.time r.Impact.d_waitdist);
+        ("counted_waits", J.int r.Impact.counted_waits);
+        ("counted_runs", J.int r.Impact.counted_runs);
+        ("ia_wait", J.float (Impact.ia_wait r));
+        ("ia_run", J.float (Impact.ia_run r));
+        ("ia_opt", J.float (Impact.ia_opt r));
+        ("propagation_ratio", J.float (Impact.propagation_ratio r));
+      ]
+    in
+    match prov with
+    | None -> J.Obj base
+    | Some (p : Provenance.impact) ->
+      J.Obj
+        (base
+        @ [
+            ( "provenance",
+              J.Obj
+                [
+                  ("top_waits", of_topk p.Provenance.top_waits);
+                  ("top_runs", of_topk p.Provenance.top_runs);
+                ] );
+          ])
+
+  let of_module_rows ?(prov = Provenance.empty_impact) rows =
+    J.Arr
+      (List.map
+         (fun (r : Impact.module_row) ->
+           let top =
+             match
+               List.assoc_opt r.Impact.module_name prov.Provenance.by_module
+             with
+             | Some k -> of_topk k
+             | None -> J.Arr []
+           in
+           J.Obj
+             [
+               ("module", J.str r.Impact.module_name);
+               ("wait", J.time r.Impact.m_wait);
+               ("waitdist", J.time r.Impact.m_waitdist);
+               ("run", J.time r.Impact.m_run);
+               ("counted_waits", J.int r.Impact.m_counted_waits);
+               ("max_wait", J.time r.Impact.m_max_wait);
+               ( "propagation_ratio",
+                 J.float (Impact.module_propagation_ratio r) );
+               ("provenance", top);
+             ])
+         rows)
+
+  let of_tuple (t : Tuple.t) =
+    let names part =
+      J.Arr
+        (List.map
+           (fun s -> J.str (Dptrace.Signature.name s))
+           (Array.to_list part))
+    in
+    J.Obj
+      [
+        ("waits", names t.Tuple.waits);
+        ("unwaits", names t.Tuple.unwaits);
+        ("runnings", names t.Tuple.runnings);
+      ]
+
+  let of_pattern ~rank (p : Mining.pattern) =
+    J.Obj
+      [
+        ("rank", J.int rank);
+        ("tuple", of_tuple p.Mining.tuple);
+        ("cost", J.time p.Mining.cost);
+        ("count", J.int p.Mining.count);
+        ("avg_cost_us", J.float (Mining.avg_cost p));
+        ("max_single", J.time p.Mining.max_single);
+        ("witnesses", of_wset p.Mining.witnesses);
+        ("fast_witnesses", of_wset p.Mining.fast_witnesses);
+      ]
+
+  let of_scenario name (r : Pipeline.scenario_result) =
+    let f, m, s = Classify.counts r.Pipeline.classification in
+    let red = Awg.reduction r.Pipeline.slow_awg in
+    let patterns = r.Pipeline.mining.Mining.patterns in
+    J.Obj
+      [
+        ("name", J.str name);
+        ( "classes",
+          J.Obj [ ("fast", J.int f); ("middle", J.int m); ("slow", J.int s) ] );
+        ( "impact",
+          of_impact ~prov:r.Pipeline.slow_impact_prov r.Pipeline.slow_impact );
+        ( "coverages",
+          J.Obj
+            [
+              ("driver_cost", J.float (Pipeline.driver_cost_fraction r));
+              ("itc", J.float r.Pipeline.coverages.Evaluation.itc);
+              ("ttc", J.float r.Pipeline.coverages.Evaluation.ttc);
+            ] );
+        ( "ranking_coverage",
+          J.Obj
+            (List.map
+               (fun f ->
+                 ( Printf.sprintf "top%d" (int_of_float (100.0 *. f)),
+                   J.float
+                     (Evaluation.ranking_coverage patterns ~top_fraction:f) ))
+               [ 0.10; 0.20; 0.30 ]) );
+        ( "awg",
+          J.Obj
+            [
+              ("nodes", J.int (Awg.node_count r.Pipeline.slow_awg));
+              ("total_cost", J.time (Awg.total_cost r.Pipeline.slow_awg));
+              ("leaf_cost", J.time (Awg.total_leaf_cost r.Pipeline.slow_awg));
+              ("pruned_roots", J.int red.Awg.pruned_roots);
+              ("pruned_cost", J.time red.Awg.pruned_cost);
+              ( "non_optimizable",
+                J.float (Awg.non_optimizable_fraction r.Pipeline.slow_awg) );
+            ] );
+        ("patterns", J.Arr (List.mapi (fun i p -> of_pattern ~rank:(i + 1) p) patterns));
+      ]
+
+  let document ~impact ~impact_prov ~modules ~scenarios =
+    J.Obj
+      [
+        ("tool", J.str "driveperf");
+        ("format", J.int 1);
+        ("provenance_enabled", J.Bool (Provenance.enabled ()));
+        ("impact", of_impact ~prov:impact_prov impact);
+        ("modules", of_module_rows ~prov:impact_prov modules);
+        ("scenarios", J.Arr (List.map (fun (n, r) -> of_scenario n r) scenarios));
+      ]
+end

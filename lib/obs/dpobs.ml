@@ -218,6 +218,14 @@ module Metrics = struct
                name h.count h.sum h.min
                (Dputil.Stats.ratio h.sum (float_of_int h.count))
                h.max);
+          (* Percentile estimates over the kept reservoir — the same
+             p50/p90/p99 the JSON export reports. *)
+          if Array.length h.samples > 0 then begin
+            let p q = Dputil.Stats.percentile h.samples q in
+            Buffer.add_string buf
+              (Printf.sprintf "  p50=%.3f p90=%.3f p99=%.3f\n" (p 50.0)
+                 (p 90.0) (p 99.0))
+          end;
           if Array.length h.samples > 1 then
             String.split_on_char '\n'
               (Dputil.Histogram.render ~width:40

@@ -107,8 +107,10 @@ module Metrics : sig
       [prefix]. *)
 
   val render : ?prefix:string -> unit -> string
-  (** Flat text: one [name = value] line per counter/gauge, a summary
-      line plus an ASCII {!Dputil.Histogram} per histogram. *)
+  (** Flat text: one [name = value] line per counter/gauge; per
+      histogram, a summary line, a [p50/p90/p99] percentile line
+      (estimated over the kept sample reservoir, matching the JSON
+      export) and an ASCII {!Dputil.Histogram}. *)
 
   val watch : counter -> (int -> unit) -> unit
   (** Call [f new_value] on every update of the counter (from whichever

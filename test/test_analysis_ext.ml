@@ -13,7 +13,7 @@ let tuple w =
   Tuple.make ~waits:(List.map sig_ w) ~unwaits:[] ~runnings:[]
 
 let pattern ~w ~cost ~count =
-  { Mining.tuple = tuple w; cost; count; max_single = cost }
+  Mining.make_pattern ~tuple:(tuple w) ~cost ~count ~max_single:cost
 
 (* --- Diff --- *)
 
@@ -186,12 +186,9 @@ let test_witnesses_found () =
 let test_witnesses_absent_pattern () =
   let corpus = Dpworkload.Motivating_case.corpus ~copies:2 () in
   let pattern =
-    {
-      Mining.tuple = tuple [ "nosuch.sys!F" ];
-      cost = 1;
-      count = 1;
-      max_single = 1;
-    }
+    (Mining.make_pattern
+       ~tuple:(tuple [ "nosuch.sys!F" ])
+       ~cost:1 ~count:1 ~max_single:1)
   in
   let ws =
     Dpcore.Explorer.witnesses Dpcore.Component.drivers corpus

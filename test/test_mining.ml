@@ -192,7 +192,7 @@ let test_meta_enumeration_k_sensitivity () =
 (* --- Evaluation helpers --- *)
 
 let pattern ~cost ~count ~max_single ~w =
-  { Mining.tuple = t ~w ~u:[] ~r:[]; cost; count; max_single }
+  Mining.make_pattern ~tuple:(t ~w ~u:[] ~r:[]) ~cost ~count ~max_single
 
 let test_high_impact_rule () =
   check Alcotest.bool "above tslow" true

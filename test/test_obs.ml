@@ -14,136 +14,9 @@ let contains haystack needle =
   let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
   n = 0 || go 0
 
-(* --- a minimal JSON parser, just enough to validate the exports --- *)
+(* The in-test JSON parser lives in Tjson (shared with test_report). *)
 
-module Json = struct
-  type t =
-    | Null
-    | Bool of bool
-    | Num of float
-    | Str of string
-    | Arr of t list
-    | Obj of (string * t) list
-
-  exception Bad of string
-
-  let parse (s : string) : t =
-    let pos = ref 0 in
-    let len = String.length s in
-    let peek () = if !pos < len then Some s.[!pos] else None in
-    let next () =
-      if !pos >= len then raise (Bad "eof");
-      let c = s.[!pos] in
-      incr pos;
-      c
-    in
-    let rec skip_ws () =
-      match peek () with
-      | Some (' ' | '\t' | '\n' | '\r') ->
-        incr pos;
-        skip_ws ()
-      | _ -> ()
-    in
-    let expect c =
-      let g = next () in
-      if g <> c then raise (Bad (Printf.sprintf "want %c got %c" c g))
-    in
-    let literal word v =
-      String.iter expect word;
-      v
-    in
-    let string_body () =
-      let b = Buffer.create 16 in
-      let rec go () =
-        match next () with
-        | '"' -> Buffer.contents b
-        | '\\' ->
-          (match next () with
-          | ('"' | '\\' | '/') as c -> Buffer.add_char b c
-          | 'n' -> Buffer.add_char b '\n'
-          | 't' -> Buffer.add_char b '\t'
-          | 'r' -> Buffer.add_char b '\r'
-          | 'b' -> Buffer.add_char b '\b'
-          | 'f' -> Buffer.add_char b '\012'
-          | 'u' ->
-            let h = String.init 4 (fun _ -> next ()) in
-            ignore (int_of_string ("0x" ^ h));
-            Buffer.add_char b '?'
-          | c -> raise (Bad (Printf.sprintf "bad escape %c" c)));
-          go ()
-        | c when Char.code c < 0x20 -> raise (Bad "raw control char in string")
-        | c ->
-          Buffer.add_char b c;
-          go ()
-      in
-      go ()
-    in
-    let number () =
-      let start = !pos in
-      let is_num_char = function
-        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-        | _ -> false
-      in
-      while (match peek () with Some c -> is_num_char c | None -> false) do
-        incr pos
-      done;
-      match float_of_string_opt (String.sub s start (!pos - start)) with
-      | Some f -> Num f
-      | None -> raise (Bad "bad number")
-    in
-    let rec value () =
-      skip_ws ();
-      match peek () with
-      | Some '{' ->
-        expect '{';
-        skip_ws ();
-        if peek () = Some '}' then (expect '}'; Obj [])
-        else Obj (members [])
-      | Some '[' ->
-        expect '[';
-        skip_ws ();
-        if peek () = Some ']' then (expect ']'; Arr [])
-        else Arr (elements [])
-      | Some '"' ->
-        expect '"';
-        Str (string_body ())
-      | Some 't' -> literal "true" (Bool true)
-      | Some 'f' -> literal "false" (Bool false)
-      | Some 'n' -> literal "null" Null
-      | Some _ -> number ()
-      | None -> raise (Bad "eof")
-    and members acc =
-      skip_ws ();
-      expect '"';
-      let k = string_body () in
-      skip_ws ();
-      expect ':';
-      let v = value () in
-      skip_ws ();
-      match next () with
-      | ',' -> members ((k, v) :: acc)
-      | '}' -> List.rev ((k, v) :: acc)
-      | c -> raise (Bad (Printf.sprintf "bad object sep %c" c))
-    and elements acc =
-      let v = value () in
-      skip_ws ();
-      match next () with
-      | ',' -> elements (v :: acc)
-      | ']' -> List.rev (v :: acc)
-      | c -> raise (Bad (Printf.sprintf "bad array sep %c" c))
-    in
-    let v = value () in
-    skip_ws ();
-    if !pos <> len then raise (Bad "trailing garbage");
-    v
-
-  let member k = function
-    | Obj kvs -> List.assoc_opt k kvs
-    | _ -> None
-
-  let str = function Str s -> Some s | _ -> None
-  let num = function Num f -> Some f | _ -> None
-end
+module Json = Tjson
 
 (* --- disabled mode --- *)
 

@@ -1,0 +1,254 @@
+(* Tests for lib/core/report: the text renderers regenerate the paper's
+   tables from analysis results, and the --json twin round-trips through
+   a real parser (Tjson, shared with test_obs) carrying provenance for
+   every reported component. *)
+
+module Corpus_gen = Dpworkload.Corpus_gen
+module Impact = Dpcore.Impact
+module Pipeline = Dpcore.Pipeline
+module Report = Dpcore.Report
+module Provenance = Dpcore.Provenance
+module J = Dputil.Jsonw
+
+let check = Alcotest.check
+let drivers = Dpcore.Component.drivers
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* One small corpus shared by all tests; provenance-carrying analysis of
+   it computed once, with the global switch restored afterwards so other
+   suites observe the default (disabled) state. *)
+let corpus = lazy (Corpus_gen.generate (Corpus_gen.scaled 0.1))
+
+let with_provenance f =
+  Provenance.enable ();
+  Fun.protect ~finally:Provenance.disable f
+
+let analyzed =
+  lazy
+    (with_provenance (fun () ->
+         let corpus = Lazy.force corpus in
+         let impact, prov = Impact.analyze_prov drivers corpus in
+         let graphs =
+           Pipeline.build_graphs corpus (Dptrace.Corpus.all_instances corpus)
+         in
+         let modules = Impact.by_module drivers graphs in
+         let scenario = "BrowserTabCreate" in
+         let r = Pipeline.run_scenario drivers corpus scenario in
+         (impact, prov, modules, [ (scenario, r) ])))
+
+(* --- paper tables --- *)
+
+let test_impact_summary_regenerates () =
+  let impact, _, _, _ = Lazy.force analyzed in
+  let s = Dputil.Table.render (Report.impact_summary impact) in
+  check Alcotest.bool "has headline rows" true
+    (List.for_all (contains s)
+       [
+         "IA_wait";
+         "IA_run";
+         "IA_opt";
+         "D_waitdist";
+         Report.pct (Impact.ia_wait impact);
+         Report.pct (Impact.ia_opt impact);
+         Dputil.Time.to_string impact.Impact.d_scn;
+         string_of_int impact.Impact.instances;
+       ])
+
+let test_module_breakdown_regenerates () =
+  let _, _, modules, _ = Lazy.force analyzed in
+  check Alcotest.bool "breakdown is non-trivial" true (List.length modules > 1);
+  let s = Dputil.Table.render (Report.module_breakdown modules) in
+  let top = List.hd modules in
+  check Alcotest.bool "costliest module listed" true
+    (contains s top.Impact.module_name);
+  check Alcotest.bool "sorted by D_wait descending" true
+    (let waits = List.map (fun r -> r.Impact.m_wait) modules in
+     List.sort (fun a b -> compare b a) waits = waits)
+
+let test_scenario_classes_totals () =
+  let _, _, _, scenarios = Lazy.force analyzed in
+  let entries =
+    List.map (fun (n, r) -> (n, r.Pipeline.classification)) scenarios
+  in
+  let s = Dputil.Table.render (Report.scenario_classes entries) in
+  let f, m, sl = Dpcore.Classify.counts (snd (List.hd entries)) in
+  check Alcotest.bool "totals row matches class counts" true
+    (contains s (Printf.sprintf "%d" (f + m + sl)) && contains s "Total")
+
+let test_top_patterns_listing () =
+  let _, _, _, scenarios = Lazy.force analyzed in
+  let _, r = List.hd scenarios in
+  let patterns = r.Pipeline.mining.Dpcore.Mining.patterns in
+  check Alcotest.bool "mining found patterns" true (patterns <> []);
+  let s = Report.top_patterns patterns ~n:3 in
+  let top = List.hd patterns in
+  let sig_name =
+    Dptrace.Signature.name top.Dpcore.Mining.tuple.Dpcore.Tuple.waits.(0)
+  in
+  check Alcotest.bool "lists the top tuple's wait signature" true
+    (contains s sig_name)
+
+(* --- the JSON twin --- *)
+
+let parsed_document =
+  lazy
+    (let impact, prov, modules, scenarios = Lazy.force analyzed in
+     let doc =
+       with_provenance (fun () ->
+           Report.Json.document ~impact ~impact_prov:prov ~modules ~scenarios)
+     in
+     let text = J.to_string doc in
+     (impact, modules, scenarios, text, Tjson.parse text))
+
+let test_json_parses_and_identifies () =
+  let _, _, _, _, v = Lazy.force parsed_document in
+  check Alcotest.string "tool" "driveperf" (Tjson.get_str "tool" v);
+  check (Alcotest.float 0.0) "format" 1.0 (Tjson.get_num "format" v);
+  check Alcotest.bool "provenance flag" true
+    (Tjson.get "provenance_enabled" v = Tjson.Bool true)
+
+let test_json_impact_numbers_round_trip () =
+  let impact, _, _, _, v = Lazy.force parsed_document in
+  let i = Tjson.get "impact" v in
+  let time k = int_of_float (Tjson.get_num k i) in
+  check Alcotest.int "d_scn" impact.Impact.d_scn (time "d_scn");
+  check Alcotest.int "d_wait" impact.Impact.d_wait (time "d_wait");
+  check Alcotest.int "d_waitdist" impact.Impact.d_waitdist (time "d_waitdist");
+  check (Alcotest.float 1e-9) "ia_wait" (Impact.ia_wait impact)
+    (Tjson.get_num "ia_wait" i);
+  check Alcotest.bool "impact carries provenance" true
+    (Tjson.get_arr "top_waits" (Tjson.get "provenance" i) <> [])
+
+let test_json_provenance_for_every_module () =
+  let _, modules, _, _, v = Lazy.force parsed_document in
+  let rows = Tjson.get_arr "modules" v in
+  check Alcotest.int "one row per module" (List.length modules)
+    (List.length rows);
+  List.iter2
+    (fun (m : Impact.module_row) row ->
+      check Alcotest.string "module name" m.Impact.module_name
+        (Tjson.get_str "module" row);
+      let prov = Tjson.get_arr "provenance" row in
+      if m.Impact.m_counted_waits > 0 then
+        check Alcotest.bool
+          (m.Impact.module_name ^ " has witness wait events")
+          true (prov <> []);
+      (* Each recorded witness resolves to a concrete event with a time
+         span inside its instance. *)
+      List.iter
+        (fun w ->
+          let ts = Tjson.get_num "ts" w and te = Tjson.get_num "te" w in
+          check Alcotest.bool "ts <= te" true (ts <= te);
+          let inst = Tjson.get "instance" w in
+          check Alcotest.bool "event within instance span" true
+            (Tjson.get_num "t0" inst <= ts && te <= Tjson.get_num "t1" inst))
+        prov)
+    modules rows
+
+let test_json_patterns_carry_witnesses () =
+  let _, _, scenarios, _, v = Lazy.force parsed_document in
+  let sc = List.hd (Tjson.get_arr "scenarios" v) in
+  check Alcotest.string "scenario name" (fst (List.hd scenarios))
+    (Tjson.get_str "name" sc);
+  let patterns = Tjson.get_arr "patterns" sc in
+  check Alcotest.bool "patterns present" true (patterns <> []);
+  List.iteri
+    (fun i p ->
+      check Alcotest.int "rank is 1-based position" (i + 1)
+        (int_of_float (Tjson.get_num "rank" p)))
+    patterns;
+  let top = List.hd patterns in
+  check Alcotest.bool "top pattern has slow-class witnesses" true
+    (Tjson.get_arr "witnesses" top <> []);
+  List.iter
+    (fun w ->
+      check Alcotest.bool "witness cost positive" true
+        (Tjson.get_num "cost" w > 0.0))
+    (Tjson.get_arr "witnesses" top)
+
+let test_json_deterministic () =
+  let impact, _, modules, scenarios = Lazy.force analyzed in
+  let _, prov, _, _ = Lazy.force analyzed in
+  let render () =
+    with_provenance (fun () ->
+        J.to_string
+          (Report.Json.document ~impact ~impact_prov:prov ~modules ~scenarios))
+  in
+  check Alcotest.string "two renders byte-identical" (render ()) (render ())
+
+let test_json_disabled_mode_is_bare () =
+  let impact, _, modules, scenarios = Lazy.force analyzed in
+  (* Provenance disabled (the default outside with_provenance): the
+     document says so and every module's provenance array is empty. *)
+  let doc =
+    Report.Json.document ~impact ~impact_prov:Provenance.empty_impact ~modules
+      ~scenarios
+  in
+  let v = Tjson.parse (J.to_string doc) in
+  check Alcotest.bool "flag off" true
+    (Tjson.get "provenance_enabled" v = Tjson.Bool false);
+  List.iter
+    (fun row ->
+      check Alcotest.bool "no witnesses" true
+        (Tjson.get_arr "provenance" row = []))
+    (Tjson.get_arr "modules" v)
+
+let test_jsonw_escaping_round_trips () =
+  let doc =
+    J.Obj
+      [
+        ("plain", J.str "hello");
+        ("quotes", J.str {|she said "hi"|});
+        ("control", J.str "tab\there\nnewline");
+        ("backslash", J.str {|C:\drivers\fv.sys|});
+        ("numbers", J.Arr [ J.int (-3); J.float 0.125; J.float 1e9 ]);
+      ]
+  in
+  let v = Tjson.parse (J.to_string doc) in
+  check Alcotest.string "quotes" {|she said "hi"|} (Tjson.get_str "quotes" v);
+  check Alcotest.string "control" "tab\there\nnewline"
+    (Tjson.get_str "control" v);
+  check Alcotest.string "backslash" {|C:\drivers\fv.sys|}
+    (Tjson.get_str "backslash" v);
+  match Tjson.get_arr "numbers" v with
+  | [ a; b; c ] ->
+    check (Alcotest.float 0.0) "int" (-3.0) (Option.get (Tjson.num a));
+    check (Alcotest.float 0.0) "fraction" 0.125 (Option.get (Tjson.num b));
+    check (Alcotest.float 0.0) "large" 1e9 (Option.get (Tjson.num c))
+  | _ -> Alcotest.fail "numbers array shape"
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "tables",
+        [
+          Alcotest.test_case "impact summary regenerates" `Quick
+            test_impact_summary_regenerates;
+          Alcotest.test_case "module breakdown regenerates" `Quick
+            test_module_breakdown_regenerates;
+          Alcotest.test_case "scenario classes totals" `Quick
+            test_scenario_classes_totals;
+          Alcotest.test_case "top patterns listing" `Quick
+            test_top_patterns_listing;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "parses and identifies" `Quick
+            test_json_parses_and_identifies;
+          Alcotest.test_case "impact numbers round-trip" `Quick
+            test_json_impact_numbers_round_trip;
+          Alcotest.test_case "provenance for every module" `Quick
+            test_json_provenance_for_every_module;
+          Alcotest.test_case "patterns carry witnesses" `Quick
+            test_json_patterns_carry_witnesses;
+          Alcotest.test_case "deterministic" `Quick test_json_deterministic;
+          Alcotest.test_case "disabled mode is bare" `Quick
+            test_json_disabled_mode_is_bare;
+          Alcotest.test_case "escaping round-trips" `Quick
+            test_jsonw_escaping_round_trips;
+        ] );
+    ]

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Gate a fresh bench JSON against its committed baseline.
+
+Usage: bench_gate.py BASELINE.json CURRENT.json
+
+Exits nonzero when a gated quantity regresses by more than 25% over the
+baseline. Only machine-portable quantities are gated — ratios of two
+timings taken on the same machine (overhead percentages, parallel
+speedups) and correctness booleans — never raw seconds or ns/call,
+which shift with the runner's hardware. Each relative bound carries a
+small absolute floor so a near-zero baseline does not turn measurement
+noise into a failure.
+"""
+
+import json
+import sys
+
+REL_TOL = 0.25
+
+failures = []
+
+
+def check(name, ok, detail):
+    status = "ok" if ok else "FAIL"
+    print(f"  [{status}] {name}: {detail}")
+    if not ok:
+        failures.append(name)
+
+
+def bounded_above(name, base, cur, floor):
+    """cur may exceed base by 25% plus an absolute floor. A negative
+    baseline (measurement noise showing a speedup) clamps to zero so the
+    limit never demands the noise reproduce."""
+    limit = max(base, 0.0) * (1.0 + REL_TOL) + floor
+    check(name, cur <= limit, f"current {cur:.4f} vs baseline {base:.4f} (limit {limit:.4f})")
+
+
+def gate_parallel(base, cur):
+    check("identical_results", cur.get("identical_results") is True,
+          f"current {cur.get('identical_results')}")
+    base_rows = {r["domains"]: r for r in base.get("results", [])}
+    cur_rows = {r["domains"]: r for r in cur.get("results", [])}
+    # Compare speedups only where both machines actually had the cores:
+    # entries above either run's recommended domain count oversubscribe
+    # and say nothing about the code.
+    cores = min(base.get("recommended_domains", 1), cur.get("recommended_domains", 1))
+    for domains in sorted(set(base_rows) & set(cur_rows)):
+        if domains > cores:
+            continue
+        b, c = base_rows[domains]["speedup"], cur_rows[domains]["speedup"]
+        if b <= 1.1:  # baseline shows no parallel win to protect
+            continue
+        limit = b * (1.0 - REL_TOL)
+        check(f"speedup@{domains}", c >= limit,
+              f"current {c:.2f}x vs baseline {b:.2f}x (limit {limit:.2f}x)")
+
+
+def gate_obs(base, cur):
+    bounded_above("disabled_overhead_pct",
+                  base["disabled_overhead_pct"], cur["disabled_overhead_pct"], 0.05)
+    bounded_above("enabled_overhead_pct",
+                  base["enabled_overhead_pct"], cur["enabled_overhead_pct"], 5.0)
+
+
+def gate_prov(base, cur):
+    check("results_identical", cur.get("results_identical") is True,
+          f"current {cur.get('results_identical')}")
+    bounded_above("disabled_overhead_pct",
+                  base["disabled_overhead_pct"], cur["disabled_overhead_pct"], 0.05)
+    bounded_above("enabled_overhead_pct",
+                  base["enabled_overhead_pct"], cur["enabled_overhead_pct"], 10.0)
+
+
+GATES = {
+    "parallel-scaling": gate_parallel,
+    "obs-overhead": gate_obs,
+    "provenance-overhead": gate_prov,
+}
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    with open(sys.argv[1]) as f:
+        base = json.load(f)
+    with open(sys.argv[2]) as f:
+        cur = json.load(f)
+    kind = base.get("bench")
+    if kind != cur.get("bench"):
+        sys.exit(f"bench kind mismatch: baseline {kind!r} vs current {cur.get('bench')!r}")
+    gate = GATES.get(kind)
+    if gate is None:
+        sys.exit(f"no gate defined for bench kind {kind!r}")
+    print(f"{kind}: {sys.argv[2]} vs baseline {sys.argv[1]}")
+    gate(base, cur)
+    if failures:
+        sys.exit(f"bench regression: {', '.join(failures)}")
+    print("  all gated quantities within 25% of baseline")
+
+
+if __name__ == "__main__":
+    main()
