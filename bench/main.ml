@@ -7,7 +7,8 @@
      BENCH_SEED         corpus seed (default 42)
      BENCH_QUOTA        seconds per Bechamel micro-benchmark (default 0.5)
      BENCH_ONLY         comma-separated section names to run (e1..e10, rq2,
-                        a1..a3, r1, parallel, micro); unset runs everything
+                        a1..a3, r1, parallel, mining, micro); unset runs
+                        everything
      DRIVEPERF_DOMAINS  default analysis parallelism (default: recommended
                         domain count); the scaling suite sweeps 1/2/4/this *)
 
@@ -50,15 +51,18 @@ let corpus =
 
 let bench_pool = Dppar.Pool.create ()
 
+(* Lazy so sections that build their own pipelines (mining, parallel)
+   can run under BENCH_ONLY without paying for the full fan-out. *)
 let named_results =
-  timed
-    (Printf.sprintf "causality analysis x8 (%d domains)"
-       (Dppar.Pool.size bench_pool))
-    (fun () ->
-      Pipeline.run_all ~pool:bench_pool ~scenarios:Paper.scenarios drivers
-        corpus)
+  lazy
+    (timed
+       (Printf.sprintf "causality analysis x8 (%d domains)"
+          (Dppar.Pool.size bench_pool))
+       (fun () ->
+         Pipeline.run_all ~pool:bench_pool ~scenarios:Paper.scenarios drivers
+           corpus))
 
-let result name = List.assoc name named_results
+let result name = List.assoc name (Lazy.force named_results)
 
 (* --- E1: Section 5.1 headline impact metrics --- *)
 
@@ -321,7 +325,7 @@ let e9 () =
     (fun (name, r) ->
       Table.add_row t
         [ name; pct (Dpcore.Awg.non_optimizable_fraction r.Pipeline.slow_awg) ])
-    named_results;
+    (Lazy.force named_results);
   Table.print t;
   Printf.printf "paper: BrowserTabSwitch = %.1f%%; measured above = %s\n"
     Paper.tab_switch_non_optimizable
@@ -667,6 +671,10 @@ let () =
       ("a3", a3);
       ("r1", r1);
       ("parallel", parallel_scaling);
+      ( "mining",
+        fun () ->
+          section "Mining engine vs reference (contrast-mining throughput)";
+          Mining_bench.run ~scale ~seed corpus );
       ("micro", micro);
     ]
   in

@@ -1,0 +1,207 @@
+(* Contrast-mining engine benchmark: the optimised miner (incremental
+   segment enumeration over frozen child arrays, hash-consed tuples,
+   inverted pattern index, optional per-root parallelism) measured
+   against the retained naive reference on a real scenario's AWGs.
+   Writes BENCH_mining.json.
+
+   Two properties are enforced:
+
+   - the engine must return results structurally identical to the
+     reference — sequential and pooled, with provenance off and on
+     (witness unions are truncating and order-sensitive, so this checks
+     the merge order too);
+   - the combined enumeration + selection speedup must be >= 3x.
+
+   Knobs: BENCH_SCALE / BENCH_SEED (via the shared corpus), BENCH_REPS
+   (timed repetitions per configuration, best-of; default 3),
+   DRIVEPERF_DOMAINS (pool size for the pooled run, floored at 2). *)
+
+module Mining = Dpcore.Mining
+module Pipeline = Dpcore.Pipeline
+
+let env_int name default =
+  match Sys.getenv_opt name with Some v -> int_of_string v | None -> default
+
+let reps = max 1 (env_int "BENCH_REPS" 3)
+
+(* Best-of-[reps] per-call wall time. The first (untimed) run warms any
+   caches and calibrates an inner iteration count that puts each timed
+   sample above ~20ms: single calls sit in the low milliseconds here,
+   where scheduler noise would otherwise dominate best-of-2 ratios. *)
+let time_best f =
+  let t0 = Unix.gettimeofday () in
+  ignore (Sys.opaque_identity (f ()));
+  let t1 = Unix.gettimeofday () -. t0 in
+  let iters = max 1 (int_of_float (ceil (0.02 /. Float.max 1e-9 t1))) in
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    best := Float.min !best ((Unix.gettimeofday () -. t0) /. float_of_int iters)
+  done;
+  !best
+
+(* The mining workload: AWGs aggregated over the {e whole} corpus —
+   every scenario instance, split into a fast and a slow class at the
+   median duration — so the table sizes and path counts scale with
+   BENCH_SCALE instead of with one scenario's share of it. *)
+let build_awgs drivers corpus =
+  let entries = Dptrace.Corpus.all_instances corpus in
+  let by_duration =
+    List.sort
+      (fun (_, a) (_, b) ->
+        compare (Dptrace.Scenario.duration a) (Dptrace.Scenario.duration b))
+      entries
+  in
+  let n = List.length by_duration in
+  let fast_entries = List.filteri (fun i _ -> i < n / 2) by_duration in
+  let slow_entries = List.filteri (fun i _ -> i >= n / 2) by_duration in
+  ( Dpcore.Awg.build drivers (Pipeline.build_graphs corpus fast_entries),
+    Dpcore.Awg.build drivers (Pipeline.build_graphs corpus slow_entries) )
+
+let run ~scale ~seed corpus =
+  let drivers = Dpcore.Component.drivers in
+  let k = Mining.default_k in
+  let domains = max 2 (Dppar.Pool.default_domains ()) in
+  Dpcore.Provenance.disable ();
+  let fast, slow = build_awgs drivers corpus in
+  let spec =
+    Dptrace.Scenario.spec ~name:"mining-bench" ~tfast:(Dputil.Time.ms 20)
+      ~tslow:(Dputil.Time.ms 60)
+  in
+
+  let count_segments awg =
+    let n = ref 0 in
+    Dpcore.Awg.iter_segments awg ~k ~f:(fun _ -> incr n);
+    !n
+  in
+  let segments = count_segments fast + count_segments slow in
+
+  (* --- stage 1: meta-pattern enumeration (the raw tables, i.e. the
+     exact body of the [mining.enumerate_tuples] span — no diagnostic
+     sort) --- *)
+  let t_enum_ref =
+    time_best (fun () ->
+        ( Mining.Reference.table_length (Mining.Reference.meta_table fast ~k),
+          Mining.Reference.table_length (Mining.Reference.meta_table slow ~k) ))
+  in
+  let t_enum_eng =
+    time_best (fun () ->
+        ( Mining.Tuple_table.length (Mining.meta_table fast ~k),
+          Mining.Tuple_table.length (Mining.meta_table slow ~k) ))
+  in
+  let t_enum_pooled =
+    Dppar.Pool.with_pool ~domains (fun pool ->
+        time_best (fun () ->
+            ( Mining.Tuple_table.length (Mining.meta_table ~pool fast ~k),
+              Mining.Tuple_table.length (Mining.meta_table ~pool slow ~k) )))
+  in
+
+  (* --- stage 3: pattern selection --- *)
+  let reference = Mining.Reference.mine ~k ~fast ~slow ~spec () in
+  let contrast_metas = reference.Mining.contrast_metas in
+  let t_sel_ref =
+    time_best (fun () -> Mining.Reference.select_patterns ~slow ~contrast_metas)
+  in
+  let t_sel_eng =
+    time_best (fun () -> Mining.select_patterns ~slow ~contrast_metas)
+  in
+
+  (* --- correctness: engine == reference, all modes --- *)
+  let engine = Mining.mine ~k ~fast ~slow ~spec () in
+  let pooled =
+    Dppar.Pool.with_pool ~domains (fun pool ->
+        Mining.mine ~pool ~k ~fast ~slow ~spec ())
+  in
+  let identical_results = engine = reference && pooled = reference in
+  Dpcore.Provenance.enable ();
+  let fast_p, slow_p = build_awgs drivers corpus in
+  let reference_p = Mining.Reference.mine ~k ~fast:fast_p ~slow:slow_p ~spec () in
+  let engine_p = Mining.mine ~k ~fast:fast_p ~slow:slow_p ~spec () in
+  let pooled_p =
+    Dppar.Pool.with_pool ~domains (fun pool ->
+        Mining.mine ~pool ~k ~fast:fast_p ~slow:slow_p ~spec ())
+  in
+  Dpcore.Provenance.disable ();
+  let identical_results_prov =
+    engine_p = reference_p && pooled_p = reference_p
+  in
+
+  let distinct_tuples = engine.Mining.fast_meta_count + engine.Mining.slow_meta_count in
+  let speedup_enum = t_enum_ref /. t_enum_eng in
+  let speedup_select = t_sel_ref /. t_sel_eng in
+  let speedup_mining =
+    (t_enum_ref +. t_sel_ref) /. (t_enum_eng +. t_sel_eng)
+  in
+  let segs_per_sec t = float_of_int segments /. t in
+
+  let workload = "whole-corpus-median-split" in
+  Printf.printf
+    "workload %s, k=%d: %d segments, %d distinct tuples, %d contrast metas\n\
+     enumerate_tuples: reference %.4fs, engine %.4fs (%.2fx), pooled(%d) %.4fs\n\
+     pattern_selection: reference %.4fs, engine %.4fs (%.2fx)\n\
+     combined speedup: %.2fx; engine throughput %.0f segments/s \
+     (reference %.0f)\n\
+     identical results: %b (provenance on: %b)\n"
+    workload k segments distinct_tuples
+    (List.length contrast_metas)
+    t_enum_ref t_enum_eng speedup_enum domains t_enum_pooled t_sel_ref
+    t_sel_eng speedup_select speedup_mining
+    (segs_per_sec t_enum_eng)
+    (segs_per_sec t_enum_ref)
+    identical_results identical_results_prov;
+
+  let oc = open_out "BENCH_mining.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"mining-throughput\",\n\
+    \  \"corpus_scale\": %g,\n\
+    \  \"seed\": %d,\n\
+    \  \"workload\": \"%s\",\n\
+    \  \"k\": %d,\n\
+    \  \"domains\": %d,\n\
+    \  \"segments\": %d,\n\
+    \  \"distinct_tuples\": %d,\n\
+    \  \"contrast_metas\": %d,\n\
+    \  \"seconds_enum_reference\": %.6f,\n\
+    \  \"seconds_enum_engine\": %.6f,\n\
+    \  \"seconds_enum_engine_pooled\": %.6f,\n\
+    \  \"seconds_select_reference\": %.6f,\n\
+    \  \"seconds_select_engine\": %.6f,\n\
+    \  \"segments_per_sec_reference\": %.1f,\n\
+    \  \"segments_per_sec_engine\": %.1f,\n\
+    \  \"speedup_enum\": %.3f,\n\
+    \  \"speedup_select\": %.3f,\n\
+    \  \"speedup_mining\": %.3f,\n\
+    \  \"identical_results\": %b,\n\
+    \  \"identical_results_prov\": %b\n\
+     }\n"
+    scale seed workload k domains segments distinct_tuples
+    (List.length contrast_metas)
+    t_enum_ref t_enum_eng t_enum_pooled t_sel_ref t_sel_eng
+    (segs_per_sec t_enum_ref)
+    (segs_per_sec t_enum_eng)
+    speedup_enum speedup_select speedup_mining identical_results
+    identical_results_prov;
+  close_out oc;
+  print_endline "wrote BENCH_mining.json";
+
+  if not (identical_results && identical_results_prov) then begin
+    print_endline "FAIL: engine result differs from the reference miner";
+    exit 1
+  end;
+  (* The 3x floor is a throughput claim; below a few thousand segments
+     the measurement is dominated by fixed per-call costs (table sizing,
+     interner warm-up) and says nothing about it. CI enforces the floor
+     at the committed baseline's scale via tools/bench_gate.py. *)
+  if speedup_mining < 3.0 then
+    if segments >= 3000 then begin
+      Printf.printf "FAIL: combined mining speedup %.2fx < 3x\n" speedup_mining;
+      exit 1
+    end
+    else
+      Printf.printf
+        "note: %.2fx < 3x, not enforced below 3000 segments (got %d)\n"
+        speedup_mining segments

@@ -14,6 +14,13 @@ type node = {
   mutable max_cost : Dputil.Time.t;
   mutable witnesses : Provenance.Wset.t;
   children : (status, node) Hashtbl.t;
+  mutable frozen_kids : node array option;
+      (* Children in sorted-status order, memoised once the node stops
+         mutating. Every path prefix reaching a node used to re-sort the
+         same children; freezing makes each traversal step an array
+         iteration. [build] freezes the whole forest before returning, so
+         concurrent readers (mining fanned out over roots) only ever see
+         the published array. *)
 }
 
 type reduction_stats = {
@@ -77,15 +84,19 @@ let fresh_node status =
     max_cost = 0;
     witnesses = Provenance.Wset.empty;
     children = Hashtbl.create 4;
+    frozen_kids = None;
   }
 
-let rec merge_into ?src table (c : cnode) =
+let rec merge_into ?src ?parent table (c : cnode) =
   let n =
     match Hashtbl.find_opt table c.cstatus with
     | Some n -> n
     | None ->
       let n = fresh_node c.cstatus in
       Hashtbl.replace table c.cstatus n;
+      (* A new child invalidates the parent's frozen view (only relevant
+         if anything froze mid-build; [build] freezes at the end). *)
+      (match parent with Some p -> p.frozen_kids <- None | None -> ());
       n
   in
   n.cost <- n.cost + c.ccost;
@@ -94,7 +105,7 @@ let rec merge_into ?src table (c : cnode) =
   (match src with
   | Some r -> n.witnesses <- Provenance.Wset.add n.witnesses r ~cost:c.ccost
   | None -> ());
-  List.iter (merge_into ?src n.children) c.ckids
+  List.iter (merge_into ?src ~parent:n n.children) c.ckids
 
 let is_hw_leaf n =
   match n.status with Hw _ -> Hashtbl.length n.children = 0 | _ -> false
@@ -134,6 +145,20 @@ let reduce_forest forest =
     total_root_cost = !total;
   }
 
+let sorted_nodes table =
+  Hashtbl.fold (fun _ n acc -> n :: acc) table []
+  |> List.sort (fun a b -> compare a.status b.status)
+
+let sorted_children n =
+  match n.frozen_kids with
+  | Some kids -> kids
+  | None ->
+    let kids = Array.of_list (sorted_nodes n.children) in
+    n.frozen_kids <- Some kids;
+    kids
+
+let rec freeze_node n = Array.iter freeze_node (sorted_children n)
+
 let build ?pool ?(reduce = true) components graphs =
   (* Per-graph conversion is pure and dominates the build; fan it out.
      The merge stays sequential in the given graph order, so the forest —
@@ -163,11 +188,11 @@ let build ?pool ?(reduce = true) components graphs =
       let total = Hashtbl.fold (fun _ n acc -> acc + n.cost) forest 0 in
       { pruned_roots = 0; pruned_cost = 0; total_root_cost = total }
   in
+  (* Freeze sorted-children arrays while still single-domain: after this
+     point the forest is read-only and the frozen views can be shared by
+     parallel mining without publication races. *)
+  List.iter freeze_node (sorted_nodes forest);
   { forest; stats }
-
-let sorted_nodes table =
-  Hashtbl.fold (fun _ n acc -> n :: acc) table []
-  |> List.sort (fun a b -> compare a.status b.status)
 
 let roots t = sorted_nodes t.forest
 
@@ -175,7 +200,7 @@ let reduction t = t.stats
 
 let rec fold_node f acc n =
   let acc = f acc n in
-  List.fold_left (fold_node f) acc (sorted_nodes n.children)
+  Array.fold_left (fold_node f) acc (sorted_children n)
 
 let fold t ~init ~f = List.fold_left (fold_node f) init (roots t)
 
@@ -190,16 +215,18 @@ let total_leaf_cost t =
 let iter_segments t ~k ~f =
   if k < 1 then invalid_arg "Awg.iter_segments: k must be >= 1";
   (* From every node, walk all downward paths of length <= k; report each
-     prefix. [prefix] is kept reversed for O(1) extension. *)
+     prefix. [prefix] is kept reversed for O(1) extension. The frozen
+     children arrays make each extension step an array scan instead of a
+     per-visit sort. *)
   let rec extend prefix_rev len n =
     let prefix_rev = n :: prefix_rev in
     f (List.rev prefix_rev);
     if len < k then
-      List.iter (extend prefix_rev (len + 1)) (sorted_nodes n.children)
+      Array.iter (extend prefix_rev (len + 1)) (sorted_children n)
   in
   let rec every_node n =
     extend [] 1 n;
-    List.iter every_node (sorted_nodes n.children)
+    Array.iter every_node (sorted_children n)
   in
   List.iter every_node (roots t)
 
@@ -207,9 +234,9 @@ let full_paths t =
   let out = ref [] in
   let rec go prefix_rev n =
     let prefix_rev = n :: prefix_rev in
-    let kids = sorted_nodes n.children in
-    if kids = [] then out := List.rev prefix_rev :: !out
-    else List.iter (go prefix_rev) kids
+    let kids = sorted_children n in
+    if Array.length kids = 0 then out := List.rev prefix_rev :: !out
+    else Array.iter (go prefix_rev) kids
   in
   List.iter (go []) (roots t);
   List.rev !out
@@ -258,11 +285,11 @@ let to_dot t =
          id label
          (Dputil.Time.to_string n.cost)
          n.count shape color);
-    List.iter
+    Array.iter
       (fun c ->
         let cid = emit c in
         Buffer.add_string edges (Printf.sprintf "  %s -> %s;\n" id cid))
-      (sorted_nodes n.children);
+      (sorted_children n);
     id
   in
   List.iter (fun n -> ignore (emit n)) (roots t);
@@ -276,7 +303,7 @@ let render t =
     Buffer.add_string buf
       (Format.asprintf "%s%a  C=%a N=%d max=%a\n" indent status_pp n.status
          Dputil.Time.pp n.cost n.count Dputil.Time.pp n.max_cost);
-    List.iter (go (indent ^ "  ")) (sorted_nodes n.children)
+    Array.iter (go (indent ^ "  ")) (sorted_children n)
   in
   List.iter (go "") (roots t);
   Buffer.contents buf

@@ -37,6 +37,9 @@ type node = private {
           costliest {!Provenance.default_k} entries. Empty unless
           {!Provenance.enabled} was true during {!build}. *)
   children : (status, node) Hashtbl.t;
+  mutable frozen_kids : node array option;
+      (** Children in sorted-status order, memoised by {!build} once the
+          forest stops mutating (see {!sorted_children}). *)
 }
 
 type reduction_stats = {
@@ -65,6 +68,11 @@ val build :
 
 val roots : t -> node list
 (** Deterministically ordered (by status). *)
+
+val sorted_children : node -> node array
+(** A node's children in sorted-status order — the same order every
+    traversal here uses. The array is frozen at {!build} time and shared;
+    callers must not mutate it. *)
 
 val reduction : t -> reduction_stats
 

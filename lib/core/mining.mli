@@ -13,7 +13,22 @@
     + {b pattern selection}: every full slow-class path whose tuple
       contains some contrast meta-pattern becomes a contrast pattern;
       identical tuples merge their [P.C] and [P.N]. Patterns are ranked by
-      average execution cost [P.C/P.N], highest impact first. *)
+      average execution cost [P.C/P.N], highest impact first.
+
+    Two implementations live here. The {e engine} (the top-level
+    functions) enumerates segments incrementally — per-role sorted
+    multiset scratches updated in O(log n) as the walk extends or
+    retracts a segment, hash-consed tuples frozen once per distinct
+    (hash, content) per root, tables keyed by dense tuple ids — can fan
+    enumeration over the AWG roots on a {!Dppar.Pool}, and replaces the
+    exhaustive metas × paths subset scan of step 3 with an inverted
+    signature index (each contrast meta indexed under its rarest
+    signature; candidates generated from the signatures a path actually
+    contains, then subset-verified in original meta order). {!Reference}
+    retains the naive algorithms as the correctness oracle: both produce
+    bit-identical {!result}s — including provenance witness sets, whose
+    truncating unions are order-sensitive and therefore applied in
+    reference segment order even under parallel enumeration. *)
 
 type meta = {
   tuple : Tuple.t;
@@ -72,13 +87,65 @@ type result = {
 val default_k : int
 (** 5, the paper's segment-length bound for all experiments. *)
 
-val enumerate_metas : Awg.t -> k:int -> meta list
-(** Step 1 alone (exposed for tests and ablations). *)
+module Tuple_table : sig
+  type 'a t
+
+  val length : 'a t -> int
+end
+
+val meta_table : ?pool:Dppar.Pool.t -> Awg.t -> k:int -> meta Tuple_table.t
+(** Step 1's raw table — the body of the [mining.enumerate_tuples] span,
+    exposed so the bench can time the stage without the diagnostic sort
+    of {!enumerate_metas}. *)
+
+val enumerate_metas : ?pool:Dppar.Pool.t -> Awg.t -> k:int -> meta list
+(** Step 1 alone, sorted by tuple (exposed for tests, ablations and
+    benches). [pool] fans the per-root enumeration over domains; the
+    merged table is bit-identical to the sequential one. *)
+
+val select_patterns :
+  slow:Awg.t -> contrast_metas:contrast_meta list -> pattern list
+(** Step 3 alone (exposed for benches): inverted-index candidate
+    generation + subset verification over the slow class's full paths. *)
 
 val mine :
-  ?k:int -> fast:Awg.t -> slow:Awg.t -> spec:Dptrace.Scenario.spec -> unit -> result
+  ?pool:Dppar.Pool.t ->
+  ?k:int ->
+  fast:Awg.t ->
+  slow:Awg.t ->
+  spec:Dptrace.Scenario.spec ->
+  unit ->
+  result
 (** Run all three steps. The contrast ratio threshold is
-    [spec.tslow / spec.tfast]. *)
+    [spec.tslow / spec.tfast]. [pool] parallelises step 1 per AWG root;
+    the result is bit-identical with or without it. *)
+
+module Reference : sig
+  (** The pre-optimisation miner, kept as the correctness oracle: naive
+      tuple-per-segment enumeration, the exhaustive subset scan, and the
+      original content-keyed (per-probe hashing) tables. Same [result],
+      measured against by the mining bench and the equivalence property
+      tests. *)
+
+  type 'a table
+
+  val table_length : 'a table -> int
+
+  val meta_table : Awg.t -> k:int -> meta table
+
+  val enumerate_metas : Awg.t -> k:int -> meta list
+
+  val select_patterns :
+    slow:Awg.t -> contrast_metas:contrast_meta list -> pattern list
+
+  val mine :
+    ?k:int ->
+    fast:Awg.t ->
+    slow:Awg.t ->
+    spec:Dptrace.Scenario.spec ->
+    unit ->
+    result
+end
 
 val avg_cost : pattern -> float
 (** [P.C/P.N] in microseconds — the ranking key. *)

@@ -81,7 +81,7 @@ let run_scenario ?pool ?(k = Mining.default_k) ?(reduce = true) components
   in
   let mining =
     span "pipeline.mining" (fun () ->
-        Mining.mine ~k ~fast:fast_awg ~slow:slow_awg
+        Mining.mine ?pool ~k ~fast:fast_awg ~slow:slow_awg
           ~spec:classification.Classify.spec ())
   in
   (* Coverage denominator: everything the slow-class aggregation absorbed

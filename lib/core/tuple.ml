@@ -1,21 +1,76 @@
 module Signature = Dptrace.Signature
 
 type t = {
+  id : int;
+  hkey : int;
   waits : Signature.t array;
   unwaits : Signature.t array;
   runnings : Signature.t array;
 }
 
-let normalize sigs =
-  let arr = Array.of_list (List.sort_uniq Signature.compare sigs) in
-  arr
+(* Content hash over the three sorted, distinct signature arrays. Folding
+   every element (rather than Hashtbl.hash's bounded sample) keeps large
+   tuples from colliding, and the value is derived from interned signature
+   ids only, so it is deterministic within a process. *)
+let mix h x = (((h lsl 5) + h) lxor x) land max_int
+
+let hash_arrays waits unwaits runnings =
+  let fold h arr =
+    Array.fold_left
+      (fun h s -> mix h (Signature.to_int s))
+      (mix h (Array.length arr))
+      arr
+  in
+  fold (fold (fold 5381 waits) unwaits) runnings
+
+let array_equal a b =
+  Array.length a = Array.length b
+  &&
+  let rec go i = i < 0 || (Signature.equal a.(i) b.(i) && go (i - 1)) in
+  go (Array.length a - 1)
+
+(* Every tuple is hash-consed process-wide: [equal] is one int comparison
+   and table probes never re-walk the arrays. The interner is shared
+   mutable state — mining fans out over pool domains — so construction is
+   serialised inside Hashcons; ids depend on first-sight order and must
+   never feed a deterministic sort (that is what [compare] is for). *)
+module Key = struct
+  type nonrec t = t
+
+  let equal a b =
+    a.hkey = b.hkey
+    && array_equal a.waits b.waits
+    && array_equal a.unwaits b.unwaits
+    && array_equal a.runnings b.runnings
+
+  let hash t = t.hkey
+end
+
+module HC = Dputil.Hashcons.Make (Key)
+
+let interner = HC.create ~capacity:1024 ()
+
+let of_sorted_arrays ~waits ~unwaits ~runnings =
+  let hkey = hash_arrays waits unwaits runnings in
+  let probe = { id = -1; hkey; waits; unwaits; runnings } in
+  HC.intern interner probe ~build:(fun id ->
+      (* The probe may alias the caller's scratch buffers; copy once, on
+         first sight only. *)
+      {
+        id;
+        hkey;
+        waits = Array.copy waits;
+        unwaits = Array.copy unwaits;
+        runnings = Array.copy runnings;
+      })
+
+let interned_count () = HC.size interner
+
+let normalize sigs = Array.of_list (List.sort_uniq Signature.compare sigs)
 
 let make ~waits ~unwaits ~runnings =
-  {
-    waits = normalize waits;
-    unwaits = normalize unwaits;
-    runnings = normalize runnings;
-  }
+  of_sorted_arrays ~waits:(normalize waits) ~unwaits:(normalize unwaits)
+    ~runnings:(normalize runnings)
 
 let of_segment nodes =
   let waits = ref [] and unwaits = ref [] and runnings = ref [] in
@@ -29,6 +84,8 @@ let of_segment nodes =
       | Awg.Hw s -> runnings := s :: !runnings)
     nodes;
   make ~waits:!waits ~unwaits:!unwaits ~runnings:!runnings
+
+let id t = t.id
 
 (* Both arrays sorted: subset test by linear merge. *)
 let array_subset small big =
@@ -58,20 +115,33 @@ let all_signatures t =
   List.sort_uniq Signature.compare
     (Array.to_list t.waits @ Array.to_list t.unwaits @ Array.to_list t.runnings)
 
-let ints arr = Array.map Signature.to_int arr
+let equal a b = a.id = b.id
+let hash t = t.hkey
 
-let equal a b = ints a.waits = ints b.waits && ints a.unwaits = ints b.unwaits
-  && ints a.runnings = ints b.runnings
-
-let compare a b =
-  match compare (ints a.waits) (ints b.waits) with
-  | 0 -> (
-    match compare (ints a.unwaits) (ints b.unwaits) with
-    | 0 -> compare (ints a.runnings) (ints b.runnings)
-    | c -> c)
+(* Shorter-array-first, then elementwise: the exact total order the
+   pre-interning polymorphic compare on int arrays applied, so ranked
+   pattern output orders identically. *)
+let array_compare a b =
+  match compare (Array.length a) (Array.length b) with
+  | 0 ->
+    let n = Array.length a in
+    let rec go i =
+      if i = n then 0
+      else
+        match Signature.compare a.(i) b.(i) with 0 -> go (i + 1) | c -> c
+    in
+    go 0
   | c -> c
 
-let hash t = Hashtbl.hash (ints t.waits, ints t.unwaits, ints t.runnings)
+let compare a b =
+  if a.id = b.id then 0
+  else
+    match array_compare a.waits b.waits with
+    | 0 -> (
+      match array_compare a.unwaits b.unwaits with
+      | 0 -> array_compare a.runnings b.runnings
+      | c -> c)
+    | c -> c
 
 let pp_set fmt arr =
   Format.fprintf fmt "{%s}"

@@ -7,9 +7,19 @@
     hardware-service dummy signatures — the paper's example pattern lists
     [DiskService] in its running set). Sets deliberately forget ordering,
     so the two interleavings of "two drivers contend a resource held by a
-    third" collapse into one pattern. *)
+    third" collapse into one pattern.
+
+    Tuples are hash-consed process-wide: each distinct tuple has exactly
+    one physical representative carrying a dense {!id}, so {!equal} is one
+    int comparison, {!hash} is a precomputed content hash, and mining
+    tables key on the id. Construction is domain-safe (serialised on the
+    interner's mutex); ids follow first-sight order and are therefore not
+    deterministic across runs or domain schedules — deterministic ranking
+    always goes through {!compare}, which orders by content. *)
 
 type t = private {
+  id : int;  (** Dense hash-consing id; unique per distinct tuple. *)
+  hkey : int;  (** Precomputed content hash. *)
   waits : Dptrace.Signature.t array;  (** Sorted, distinct. *)
   unwaits : Dptrace.Signature.t array;
   runnings : Dptrace.Signature.t array;
@@ -25,6 +35,21 @@ val make :
   t
 (** Direct construction (tests, baselines). *)
 
+val of_sorted_arrays :
+  waits:Dptrace.Signature.t array ->
+  unwaits:Dptrace.Signature.t array ->
+  runnings:Dptrace.Signature.t array ->
+  t
+(** Intern from already-sorted, distinct arrays — the mining engine's
+    zero-normalisation fast path. The arrays are {e not} retained (copied
+    on first sight only), so callers may pass reusable scratch buffers.
+    The caller must guarantee sortedness and distinctness; violating it
+    corrupts the interner's canonical forms. *)
+
+val id : t -> int
+(** The dense hash-consing id. Stable for the process lifetime; numeric
+    order is first-sight order, never a ranking key. *)
+
 val subset : t -> t -> bool
 (** [subset m p] — every signature of [m] appears in [p], role-wise; the
     containment test used to match contrast meta-patterns against
@@ -36,7 +61,18 @@ val all_signatures : t -> Dptrace.Signature.t list
 (** Distinct signatures across the three sets. *)
 
 val equal : t -> t -> bool
+(** O(1): id equality. *)
+
 val compare : t -> t -> int
+(** Content order (shorter set first, then elementwise by signature id) —
+    identical to the pre-hash-consing order, so ranked output is
+    unchanged. O(1) on equal tuples. *)
+
 val hash : t -> int
+(** O(1): the precomputed content hash. *)
+
+val interned_count : unit -> int
+(** Number of distinct tuples interned so far (diagnostics). *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -182,12 +182,135 @@ let test_no_contrast_when_classes_equal () =
     (List.map (fun _ -> "c") r.Mining.contrast_metas);
   check Alcotest.int "no patterns" 0 (List.length r.Mining.patterns)
 
+let test_tuple_interned () =
+  let a = t ~w:[ "a!1"; "b!2" ] ~u:[ "c!3" ] ~r:[ "d!4" ] in
+  let b = t ~w:[ "b!2"; "a!1"; "b!2" ] ~u:[ "c!3" ] ~r:[ "d!4" ] in
+  check Alcotest.bool "hash-consed: physically shared" true (a == b);
+  check Alcotest.int "same id" (Tuple.id a) (Tuple.id b);
+  let c = t ~w:[ "a!1" ] ~u:[ "c!3" ] ~r:[ "d!4" ] in
+  check Alcotest.bool "distinct content, distinct id" true
+    (Tuple.id a <> Tuple.id c)
+
 let test_meta_enumeration_k_sensitivity () =
   let graphs = graphs_of (episode ~stream_id:0 ~contended:true) in
   let awg = Awg.build drivers graphs in
   let m1 = List.length (Mining.enumerate_metas awg ~k:1) in
   let m5 = List.length (Mining.enumerate_metas awg ~k:5) in
   check Alcotest.bool "more metas with larger k" true (m5 > m1)
+
+(* --- engine vs reference equivalence on random scenarios ---
+
+   The optimised miner (incremental enumeration, hash-consed tuples,
+   inverted pattern index, optional per-root parallelism) must return a
+   [result] structurally identical to the retained naive reference —
+   same metas, contrast reasons, pattern ranking and provenance witness
+   sets — for any AWG shape and any k. *)
+
+type rand_scene = {
+  rk : int;
+  n_slow : int;
+  n_fast : int;
+  hold_ms : int;
+  slow_extra : P.step list;
+  fast_extra : P.step list;
+}
+
+let rec rand_prog_gen depth =
+  QCheck.Gen.(
+    if depth <= 0 then map (fun n -> P.compute (Time.ms (1 + n))) (int_bound 4)
+    else
+      frequency
+        [
+          (1, map (fun n -> P.compute (Time.ms (1 + n))) (int_bound 4));
+          ( 2,
+            map2
+              (fun s kids -> P.call (sig_ s) kids)
+              sig_gen
+              (list_size (int_range 0 2) (rand_prog_gen (depth - 1))) );
+        ])
+
+let scene_gen =
+  QCheck.Gen.(
+    map
+      (fun (rk, n_slow, n_fast, hold_ms, slow_extra, fast_extra) ->
+        { rk; n_slow; n_fast; hold_ms; slow_extra; fast_extra })
+      (tup6 (int_range 1 6) (int_range 1 3) (int_range 1 3) (int_range 20 90)
+         (list_size (int_range 0 3) (rand_prog_gen 2))
+         (list_size (int_range 0 3) (rand_prog_gen 2))))
+
+let episode_r ~stream_id ~contended ~hold_ms ~extra =
+  let engine = Engine.create ~stream_id () in
+  let lock = Engine.new_lock engine ~name:"L" in
+  let disk =
+    Engine.new_device engine ~name:"D" ~signature:(sig_ "DiskService")
+  in
+  let svc =
+    Engine.new_service engine ~name:"W" ~worker_stack:[ P.kernel_worker ]
+  in
+  if contended then
+    ignore
+      (Engine.spawn engine ~start_at:0 ~name:"h" ~base_stack:[ sig_ "bg!w" ]
+         [
+           P.call (sig_ "d.sys!Route")
+             [
+               P.locked lock
+                 [
+                   P.request svc
+                     [
+                       P.call (sig_ "e.sys!Read")
+                         [ P.hw disk (Time.ms hold_ms) ];
+                     ];
+                 ];
+             ];
+         ]);
+  ignore
+    (Engine.spawn engine ~scenario:"S" ~start_at:(Time.ms 1) ~name:"v"
+       ~base_stack:[ sig_ "app!op" ]
+       (P.compute (Time.ms 2)
+        :: P.call (sig_ "d.sys!Route") [ P.locked lock [ P.compute (Time.ms 2) ] ]
+        :: extra));
+  Engine.run engine
+
+let awgs_of_scene sc =
+  let slow_graphs =
+    List.concat_map
+      (fun i ->
+        graphs_of
+          (episode_r ~stream_id:i ~contended:true ~hold_ms:sc.hold_ms
+             ~extra:sc.slow_extra))
+      (List.init sc.n_slow (fun i -> i))
+  in
+  let fast_graphs =
+    List.concat_map
+      (fun i ->
+        graphs_of
+          (episode_r ~stream_id:(100 + i) ~contended:false ~hold_ms:sc.hold_ms
+             ~extra:sc.fast_extra))
+      (List.init sc.n_fast (fun i -> i))
+  in
+  (Awg.build drivers fast_graphs, Awg.build drivers slow_graphs)
+
+let equivalence_prop ~name ~prov =
+  QCheck.Test.make ~name ~count:25 (QCheck.make scene_gen) (fun sc ->
+      (if prov then Dpcore.Provenance.enable ()
+       else Dpcore.Provenance.disable ());
+      Fun.protect ~finally:Dpcore.Provenance.disable @@ fun () ->
+      let fast, slow = awgs_of_scene sc in
+      let reference = Mining.Reference.mine ~k:sc.rk ~fast ~slow ~spec () in
+      let engine = Mining.mine ~k:sc.rk ~fast ~slow ~spec () in
+      let pooled =
+        Dppar.Pool.with_pool ~domains:2 (fun pool ->
+            Mining.mine ~pool ~k:sc.rk ~fast ~slow ~spec ())
+      in
+      engine = reference && pooled = reference)
+
+let prop_engine_matches_reference =
+  equivalence_prop ~name:"engine = reference (sequential and pooled)"
+    ~prov:false
+
+let prop_engine_matches_reference_prov =
+  equivalence_prop ~name:"engine = reference with provenance witnesses"
+    ~prov:true
 
 (* --- Evaluation helpers --- *)
 
@@ -315,6 +438,9 @@ let () =
           Alcotest.test_case "equal classes yield nothing" `Quick
             test_no_contrast_when_classes_equal;
           Alcotest.test_case "k sensitivity" `Quick test_meta_enumeration_k_sensitivity;
+          Alcotest.test_case "tuples interned" `Quick test_tuple_interned;
+          qcheck prop_engine_matches_reference;
+          qcheck prop_engine_matches_reference_prov;
         ] );
       ( "inspect",
         [

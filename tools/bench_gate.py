@@ -71,10 +71,29 @@ def gate_prov(base, cur):
                   base["enabled_overhead_pct"], cur["enabled_overhead_pct"], 10.0)
 
 
+def gate_mining(base, cur):
+    check("identical_results", cur.get("identical_results") is True,
+          f"current {cur.get('identical_results')}")
+    check("identical_results_prov", cur.get("identical_results_prov") is True,
+          f"current {cur.get('identical_results_prov')}")
+    # The engine must beat the retained reference by 3x outright — a
+    # same-machine ratio, portable across runners — and must not give
+    # back more than 25% of the baseline's margin.
+    check("speedup_mining>=3", cur.get("speedup_mining", 0.0) >= 3.0,
+          f"current {cur.get('speedup_mining', 0.0):.2f}x (hard floor 3.00x)")
+    for key, floor in (("speedup_enum", 0.3), ("speedup_select", 0.3),
+                       ("speedup_mining", 0.3)):
+        b, c = base[key], cur[key]
+        limit = b * (1.0 - REL_TOL) - floor
+        check(key, c >= limit,
+              f"current {c:.2f}x vs baseline {b:.2f}x (limit {limit:.2f}x)")
+
+
 GATES = {
     "parallel-scaling": gate_parallel,
     "obs-overhead": gate_obs,
     "provenance-overhead": gate_prov,
+    "mining-throughput": gate_mining,
 }
 
 
