@@ -1,0 +1,136 @@
+(* Snapshot-cache benchmark: times the full report workload (headline
+   impact + per-module rows + every scenario's causality analysis)
+   from scratch, warm from a populated cache, and after appending one
+   stream to a cached corpus — the incremental re-analysis case the
+   cache exists for. Also verifies the cached run's results are
+   bit-identical to the from-scratch ones (rendered through the same
+   JSON document report --json emits). Writes BENCH_snapshot.json.
+
+   The committed gate enforces speedup_delta >= 5 (re-analysing a
+   corpus grown by one stream must be at least 5x faster than cold)
+   and identical_results = true. *)
+
+module Corpus = Dptrace.Corpus
+module Pipeline = Dpcore.Pipeline
+module Snapshot = Dpcore.Snapshot
+
+let env_int name default =
+  match Sys.getenv_opt name with Some v -> int_of_string v | None -> default
+
+let reps = max 1 (env_int "BENCH_REPS" 3)
+
+let time_best f =
+  ignore (f ());
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (f ()));
+    best := Float.min !best (Unix.gettimeofday () -. t0)
+  done;
+  !best
+
+let cache_dir = "_snapbench_cache"
+
+let clear_cache () =
+  if Sys.file_exists cache_dir then
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat cache_dir f))
+      (Sys.readdir cache_dir)
+
+let fresh_workload pool corpus =
+  let drivers = Dpcore.Component.drivers in
+  let impact, impact_prov = Pipeline.run_impact_prov ~pool drivers corpus in
+  let graphs =
+    Pipeline.build_graphs ~pool corpus (Corpus.all_instances corpus)
+  in
+  let modules = Dpcore.Impact.by_module drivers graphs in
+  let named = Pipeline.run_all ~pool drivers corpus in
+  (impact, impact_prov, modules, named)
+
+(* Open + ensure + merge: everything a --cache run does except the final
+   save, so warm/delta timings include the cache load itself. *)
+let cached_workload pool corpus =
+  let drivers = Dpcore.Component.drivers in
+  let fp =
+    Snapshot.fingerprint ~components:drivers ~specs:corpus.Corpus.specs
+      ~k:Dpcore.Mining.default_k ()
+  in
+  let snap = Snapshot.create ~dir:cache_dir ~fingerprint:fp () in
+  Snapshot.ensure ~pool snap drivers corpus;
+  let impact, impact_prov = Pipeline.run_impact_prov_snap snap corpus in
+  let modules = Pipeline.modules_snap snap corpus in
+  let named = Pipeline.run_all_snap ~pool snap corpus in
+  (snap, (impact, impact_prov, modules, named))
+
+let doc_string (impact, impact_prov, modules, named) =
+  Dputil.Jsonw.to_string
+    (Dpcore.Report.Json.document ~impact ~impact_prov ~modules
+       ~scenarios:named)
+
+let run ~scale ~seed (corpus : Corpus.t) =
+  let domains = max 2 (Dppar.Pool.default_domains ()) in
+  Dppar.Pool.with_pool ~domains @@ fun pool ->
+  if not (Sys.file_exists cache_dir) then Sys.mkdir cache_dir 0o755;
+  clear_cache ();
+  let streams = corpus.Corpus.streams in
+  let n = List.length streams in
+  let prefix =
+    Corpus.create
+      ~streams:(List.filteri (fun i _ -> i < n - 1) streams)
+      ~specs:corpus.Corpus.specs
+  in
+
+  (* Pre-resolve the shared indexes so cold vs warm compares analysis
+     work, not memo priming that both paths share. *)
+  List.iter (fun st -> ignore (Dptrace.Stream.shared_index st)) streams;
+
+  (* Cold: the full corpus from scratch, no cache involved. *)
+  let t_cold = time_best (fun () -> fresh_workload pool corpus) in
+  let fresh = fresh_workload pool corpus in
+
+  (* Populate the cache from the n-1-stream prefix (the "previous
+     tracing session"), then save. *)
+  let snap, _ = cached_workload pool prefix in
+  Snapshot.save snap;
+
+  (* Delta: re-analyse the grown corpus — one stream misses. *)
+  let t_delta = time_best (fun () -> snd (cached_workload pool corpus)) in
+  let snap, cached = cached_workload pool corpus in
+  let identical = doc_string fresh = doc_string cached in
+  Snapshot.save snap;
+
+  (* Warm: every stream hits. *)
+  let t_warm = time_best (fun () -> snd (cached_workload pool corpus)) in
+
+  let speedup_warm = t_cold /. t_warm in
+  let speedup_delta = t_cold /. t_delta in
+  Printf.printf
+    "snapshot cache (%d streams, %d domains, best of %d):\n\
+    \  cold  %.3fs\n\
+    \  +1 stream delta %.3fs (%.1fx)\n\
+    \  warm  %.3fs (%.1fx)\n\
+    \  cached results identical: %s\n"
+    n domains reps t_cold t_delta speedup_delta t_warm speedup_warm
+    (if identical then "yes" else "NO - CACHE CHANGED RESULTS");
+
+  let oc = open_out "BENCH_snapshot.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"snapshot-cache\",\n\
+    \  \"corpus_scale\": %g,\n\
+    \  \"seed\": %d,\n\
+    \  \"domains\": %d,\n\
+    \  \"reps\": %d,\n\
+    \  \"streams\": %d,\n\
+    \  \"seconds_cold\": %.3f,\n\
+    \  \"seconds_delta\": %.3f,\n\
+    \  \"seconds_warm\": %.3f,\n\
+    \  \"speedup_delta\": %.2f,\n\
+    \  \"speedup_warm\": %.2f,\n\
+    \  \"identical_results\": %b\n\
+     }\n"
+    scale seed domains reps n t_cold t_delta t_warm speedup_delta
+    speedup_warm identical;
+  close_out oc;
+  print_endline "wrote BENCH_snapshot.json";
+  if not identical then exit 1

@@ -181,6 +181,44 @@ let with_cli_pool j f =
   let domains = if j <= 0 then Dppar.Pool.default_domains () else j in
   Dppar.Pool.with_pool ~domains f
 
+(* --- incremental snapshot cache (--cache DIR) --- *)
+
+let cache_arg =
+  let doc =
+    "Incremental re-analysis: cache per-stream analysis results under \
+     $(docv) and reuse them on later runs over overlapping corpora — \
+     only new or changed streams are re-analysed. Entries are keyed by \
+     stream content and analysis configuration; results are bit-identical \
+     to a run without the cache."
+  in
+  Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR" ~doc)
+
+(* Open the cache for this configuration, ensure entries for the corpus
+   (analysing misses in parallel), hand [Some snapshot] to the body and
+   write the cache back after. Without --cache, the body gets [None]. *)
+let with_snapshot ~cache ~components ?(k = Dpcore.Mining.default_k) pool
+    corpus f =
+  match cache with
+  | None -> f None
+  | Some dir ->
+    let fingerprint =
+      Dpcore.Snapshot.fingerprint ~components
+        ~specs:corpus.Dptrace.Corpus.specs ~k ()
+    in
+    let snap = Dpcore.Snapshot.create ~dir ~fingerprint () in
+    Dpcore.Snapshot.ensure ~pool snap components corpus;
+    let r = f (Some snap) in
+    Dpcore.Snapshot.save snap;
+    let s = Dpcore.Snapshot.stats snap in
+    Dpobs.Log.info
+      "cache %s: %d hit(s), %d miss(es), %d stale, %d loaded, %d dropped, \
+       mining %d hit(s) / %d miss(es)"
+      dir s.Dpcore.Snapshot.s_hits s.Dpcore.Snapshot.s_misses
+      s.Dpcore.Snapshot.s_stale s.Dpcore.Snapshot.s_loaded
+      s.Dpcore.Snapshot.s_dropped s.Dpcore.Snapshot.s_mining_hits
+      s.Dpcore.Snapshot.s_mining_misses;
+    r
+
 (* --- self-telemetry options (lib/obs) --- *)
 
 type obs_opts = {
@@ -303,21 +341,31 @@ let generate_cmd =
 
 (* --- impact --- *)
 
-let impact corpus pats breakdown per_scenario j mode obs =
+let impact corpus pats breakdown per_scenario cache j mode obs =
   with_obs obs @@ fun () ->
   let components = components_of pats in
   with_cli_pool j @@ fun pool ->
   let corpus = read_corpus ~pool ~mode corpus in
-  let r = Dpcore.Pipeline.run_impact ~pool components corpus in
+  with_snapshot ~cache ~components pool corpus @@ fun snap ->
+  let r =
+    match snap with
+    | Some snap -> Dpcore.Pipeline.run_impact_snap snap corpus
+    | None -> Dpcore.Pipeline.run_impact ~pool components corpus
+  in
   Dputil.Table.print (Dpcore.Report.impact_summary r);
   if breakdown then begin
-    let graphs =
-      Dpcore.Pipeline.build_graphs ~pool corpus
-        (Dptrace.Corpus.all_instances corpus)
+    let modules =
+      match snap with
+      | Some snap -> Dpcore.Pipeline.modules_snap snap corpus
+      | None ->
+        let graphs =
+          Dpcore.Pipeline.build_graphs ~pool corpus
+            (Dptrace.Corpus.all_instances corpus)
+        in
+        Dpcore.Impact.by_module components graphs
     in
     print_newline ();
-    Dputil.Table.print
-      (Dpcore.Report.module_breakdown (Dpcore.Impact.by_module components graphs))
+    Dputil.Table.print (Dpcore.Report.module_breakdown modules)
   end;
   if per_scenario then begin
     print_newline ();
@@ -327,7 +375,9 @@ let impact corpus pats breakdown per_scenario j mode obs =
     let impacts =
       with_progress obs ~label:"scenarios" ~total:scenario_count
         "pipeline.scenarios_done" (fun () ->
-          Dpcore.Pipeline.impact_per_scenario ~pool components corpus)
+          match snap with
+          | Some snap -> Dpcore.Pipeline.impact_per_scenario_snap snap corpus
+          | None -> Dpcore.Pipeline.impact_per_scenario ~pool components corpus)
     in
     Dputil.Table.print (Dpcore.Report.scenario_impacts impacts)
   end;
@@ -349,7 +399,7 @@ let impact_cmd =
     (Cmd.info "impact" ~doc:"Impact analysis (Section 3)")
     Term.(
       const impact $ corpus_arg $ components_arg $ breakdown $ per_scenario
-      $ domains_arg $ mode_arg $ obs_opts_term)
+      $ cache_arg $ domains_arg $ mode_arg $ obs_opts_term)
 
 (* --- causality --- *)
 
@@ -416,14 +466,17 @@ let causality_cmd =
 
 (* --- report --- *)
 
-let report corpus json j mode obs =
+let report corpus json cache j mode obs =
   with_obs obs @@ fun () ->
   let components = Dpcore.Component.drivers in
   if json then Dpcore.Provenance.enable ();
   with_cli_pool j @@ fun pool ->
   let corpus = read_corpus ~pool ~mode corpus in
+  with_snapshot ~cache ~components pool corpus @@ fun snap ->
   let impact, impact_prov =
-    Dpcore.Pipeline.run_impact_prov ~pool components corpus
+    match snap with
+    | Some snap -> Dpcore.Pipeline.run_impact_prov_snap snap corpus
+    | None -> Dpcore.Pipeline.run_impact_prov ~pool components corpus
   in
   if not json then Dputil.Table.print (Dpcore.Report.impact_summary impact);
   let scenario_names =
@@ -435,15 +488,25 @@ let report corpus json j mode obs =
   let named =
     with_progress obs ~label:"scenarios" ~total:(List.length scenario_names)
       "pipeline.scenarios_done" (fun () ->
-        Dpcore.Pipeline.run_all ~pool ~scenarios:scenario_names components
-          corpus)
+        match snap with
+        | Some snap ->
+          Dpcore.Pipeline.run_all_snap ~pool ~scenarios:scenario_names snap
+            corpus
+        | None ->
+          Dpcore.Pipeline.run_all ~pool ~scenarios:scenario_names components
+            corpus)
   in
   if json then begin
-    let graphs =
-      Dpcore.Pipeline.build_graphs ~pool corpus
-        (Dptrace.Corpus.all_instances corpus)
+    let modules =
+      match snap with
+      | Some snap -> Dpcore.Pipeline.modules_snap snap corpus
+      | None ->
+        let graphs =
+          Dpcore.Pipeline.build_graphs ~pool corpus
+            (Dptrace.Corpus.all_instances corpus)
+        in
+        Dpcore.Impact.by_module components graphs
     in
-    let modules = Dpcore.Impact.by_module components graphs in
     print_string
       (Dputil.Jsonw.to_string
          (Dpcore.Report.Json.document ~impact ~impact_prov ~modules
@@ -482,8 +545,8 @@ let report_cmd =
   Cmd.v
     (Cmd.info "report" ~doc:"Regenerate the paper's tables")
     Term.(
-      const report $ corpus_arg $ json_arg $ domains_arg $ mode_arg
-      $ obs_opts_term)
+      const report $ corpus_arg $ json_arg $ cache_arg $ domains_arg
+      $ mode_arg $ obs_opts_term)
 
 (* --- case --- *)
 
@@ -1020,26 +1083,36 @@ let timeline_cmd =
 
 (* --- analyze: the one-shot full report --- *)
 
-let analyze corpus_path out json top_patterns_n j mode obs =
+let analyze corpus_path out json top_patterns_n cache j mode obs =
   with_obs obs @@ fun () ->
   let components = Dpcore.Component.drivers in
   if json then begin
     Dpcore.Provenance.enable ();
     with_cli_pool j @@ fun pool ->
     let corpus = read_corpus ~pool ~mode corpus_path in
+    with_snapshot ~cache ~components pool corpus @@ fun snap ->
     let impact, impact_prov =
-      Dpcore.Pipeline.run_impact_prov ~pool components corpus
+      match snap with
+      | Some snap -> Dpcore.Pipeline.run_impact_prov_snap snap corpus
+      | None -> Dpcore.Pipeline.run_impact_prov ~pool components corpus
     in
-    let graphs =
-      Dpcore.Pipeline.build_graphs ~pool corpus
-        (Dptrace.Corpus.all_instances corpus)
+    let modules =
+      match snap with
+      | Some snap -> Dpcore.Pipeline.modules_snap snap corpus
+      | None ->
+        let graphs =
+          Dpcore.Pipeline.build_graphs ~pool corpus
+            (Dptrace.Corpus.all_instances corpus)
+        in
+        Dpcore.Impact.by_module components graphs
     in
-    let modules = Dpcore.Impact.by_module components graphs in
     let named =
       with_progress obs ~label:"scenarios"
         ~total:(List.length (Dptrace.Corpus.scenario_names corpus))
         "pipeline.scenarios_done" (fun () ->
-          Dpcore.Pipeline.run_all ~pool components corpus)
+          match snap with
+          | Some snap -> Dpcore.Pipeline.run_all_snap ~pool snap corpus
+          | None -> Dpcore.Pipeline.run_all ~pool components corpus)
     in
     let doc =
       Dpcore.Report.Json.document ~impact ~impact_prov ~modules
@@ -1057,6 +1130,7 @@ let analyze corpus_path out json top_patterns_n j mode obs =
   else begin
   with_cli_pool j @@ fun pool ->
   let corpus = read_corpus ~pool ~mode corpus_path in
+  with_snapshot ~cache ~components pool corpus @@ fun snap ->
   let buf = Buffer.create 65536 in
   let line fmt = Format.kasprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
   let block text =
@@ -1079,18 +1153,27 @@ let analyze corpus_path out json top_patterns_n j mode obs =
   block
     (Dputil.Table.render
        (Dpcore.Report.impact_summary
-          (Dpcore.Pipeline.run_impact ~pool components corpus)));
-  let graphs =
-    Dpcore.Pipeline.build_graphs ~pool corpus
-      (Dptrace.Corpus.all_instances corpus)
+          (match snap with
+          | Some snap -> Dpcore.Pipeline.run_impact_snap snap corpus
+          | None -> Dpcore.Pipeline.run_impact ~pool components corpus)));
+  let modules =
+    match snap with
+    | Some snap -> Dpcore.Pipeline.modules_snap snap corpus
+    | None ->
+      let graphs =
+        Dpcore.Pipeline.build_graphs ~pool corpus
+          (Dptrace.Corpus.all_instances corpus)
+      in
+      Dpcore.Impact.by_module components graphs
   in
-  block
-    (Dputil.Table.render
-       (Dpcore.Report.module_breakdown (Dpcore.Impact.by_module components graphs)));
+  block (Dputil.Table.render (Dpcore.Report.module_breakdown modules));
   block
     (Dputil.Table.render
        (Dpcore.Report.scenario_impacts
-          (Dpcore.Pipeline.impact_per_scenario ~pool components corpus)));
+          (match snap with
+          | Some snap -> Dpcore.Pipeline.impact_per_scenario_snap snap corpus
+          | None ->
+            Dpcore.Pipeline.impact_per_scenario ~pool components corpus)));
   line "### Robustness";
   line "";
   block
@@ -1102,7 +1185,9 @@ let analyze corpus_path out json top_patterns_n j mode obs =
     with_progress obs ~label:"scenarios"
       ~total:(List.length (Dptrace.Corpus.scenario_names corpus))
       "pipeline.scenarios_done" (fun () ->
-        Dpcore.Pipeline.run_all ~pool components corpus)
+        match snap with
+        | Some snap -> Dpcore.Pipeline.run_all_snap ~pool snap corpus
+        | None -> Dpcore.Pipeline.run_all ~pool components corpus)
   in
   List.iter
     (fun (name, (r : Dpcore.Pipeline.scenario_result)) ->
@@ -1177,8 +1262,84 @@ let analyze_cmd =
     (Cmd.info "analyze"
        ~doc:"Produce the full analyst report (impact + causality + witnesses)")
     Term.(
-      const analyze $ corpus_arg $ out $ json_arg $ top $ domains_arg
-      $ mode_arg $ obs_opts_term)
+      const analyze $ corpus_arg $ out $ json_arg $ top $ cache_arg
+      $ domains_arg $ mode_arg $ obs_opts_term)
+
+(* --- cache: snapshot-cache directory maintenance --- *)
+
+let cache_action action dir keep =
+  let render fi =
+    Printf.printf "%-40s  fp %s  %d entries  %d corrupt  %d bytes\n"
+      (Filename.basename fi.Dpcore.Snapshot.fi_path)
+      fi.Dpcore.Snapshot.fi_fingerprint fi.Dpcore.Snapshot.fi_entries
+      fi.Dpcore.Snapshot.fi_corrupt fi.Dpcore.Snapshot.fi_bytes
+  in
+  match action with
+  | `Stats ->
+    let infos = List.map Dpcore.Snapshot.inspect (Dpcore.Snapshot.list_files dir) in
+    List.iter render infos;
+    let files = List.length infos in
+    let entries =
+      List.fold_left (fun a fi -> a + fi.Dpcore.Snapshot.fi_entries) 0 infos
+    in
+    let bytes =
+      List.fold_left (fun a fi -> a + fi.Dpcore.Snapshot.fi_bytes) 0 infos
+    in
+    Printf.printf "%d file(s), %d entr%s, %d bytes\n" files entries
+      (if entries = 1 then "y" else "ies")
+      bytes;
+    0
+  | `Verify ->
+    let infos = List.map Dpcore.Snapshot.inspect (Dpcore.Snapshot.list_files dir) in
+    List.iter render infos;
+    let corrupt =
+      List.fold_left (fun a fi -> a + fi.Dpcore.Snapshot.fi_corrupt) 0 infos
+    in
+    if corrupt = 0 then begin
+      Printf.printf "ok: every entry passes its checksum\n";
+      0
+    end
+    else begin
+      Printf.printf "%d corrupt entr%s (they will reload as cache misses)\n"
+        corrupt
+        (if corrupt = 1 then "y" else "ies");
+      1
+    end
+  | `Gc ->
+    let removed, reclaimed = Dpcore.Snapshot.gc ~keep dir in
+    Printf.printf "removed %d file(s), reclaimed %d bytes (kept %d newest)\n"
+      removed reclaimed keep;
+    0
+
+let cache_cmd =
+  let action =
+    let actions =
+      [ ("stats", `Stats); ("verify", `Verify); ("gc", `Gc) ]
+    in
+    Arg.(
+      required
+      & pos 0 (some (enum actions)) None
+      & info [] ~docv:"ACTION"
+          ~doc:
+            "$(b,stats) lists cache files with entry counts and sizes; \
+             $(b,verify) checks every entry's checksum (exit 1 on \
+             damage); $(b,gc) deletes all but the newest files.")
+  in
+  let dir =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"DIR" ~doc:"Cache directory (as passed to --cache).")
+  in
+  let keep =
+    Arg.(
+      value & opt int 4
+      & info [ "keep" ] ~docv:"N"
+          ~doc:"Cache files (configurations) to keep on $(b,gc).")
+  in
+  Cmd.v
+    (Cmd.info "cache" ~doc:"Inspect and maintain --cache directories")
+    Term.(const cache_action $ action $ dir $ keep)
 
 let main_cmd =
   let doc = "trace-based performance comprehension for device drivers" in
@@ -1202,6 +1363,7 @@ let main_cmd =
       explain_cmd;
       analyze_cmd;
       timeline_cmd;
+      cache_cmd;
     ]
 
 (* Arm DRIVEPERF_LOG before command dispatch so the level also applies to

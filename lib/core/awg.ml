@@ -13,6 +13,13 @@ type node = {
   mutable count : int;
   mutable max_cost : Dputil.Time.t;
   mutable witnesses : Provenance.Wset.t;
+  mutable wacc : Provenance.Wacc.t option;
+      (* Exact witness accumulation while the node is still mutating;
+         collapsed into the canonical capped [witnesses] when the forest
+         is finalised. Exactness (no mid-build truncation) is what makes
+         witness aggregation commutative, so per-stream partial forests
+         merged later ([Partial]) reproduce the sequential build bit for
+         bit. [None] when provenance is off or after finalisation. *)
   children : (status, node) Hashtbl.t;
   mutable frozen_kids : node array option;
       (* Children in sorted-status order, memoised once the node stops
@@ -83,9 +90,18 @@ let fresh_node status =
     count = 0;
     max_cost = 0;
     witnesses = Provenance.Wset.empty;
+    wacc = None;
     children = Hashtbl.create 4;
     frozen_kids = None;
   }
+
+let node_wacc n =
+  match n.wacc with
+  | Some a -> a
+  | None ->
+    let a = Provenance.Wacc.create () in
+    n.wacc <- Some a;
+    a
 
 let rec merge_into ?src ?parent table (c : cnode) =
   let n =
@@ -103,7 +119,7 @@ let rec merge_into ?src ?parent table (c : cnode) =
   n.count <- n.count + 1;
   if c.ccost > n.max_cost then n.max_cost <- c.ccost;
   (match src with
-  | Some r -> n.witnesses <- Provenance.Wset.add n.witnesses r ~cost:c.ccost
+  | Some r -> Provenance.Wacc.add (node_wacc n) r ~cost:c.ccost
   | None -> ());
   List.iter (merge_into ?src ~parent:n n.children) c.ckids
 
@@ -157,7 +173,26 @@ let sorted_children n =
     n.frozen_kids <- Some kids;
     kids
 
-let rec freeze_node n = Array.iter freeze_node (sorted_children n)
+(* Final steps shared by [build] and [Partial.merge_all]: reduce, collapse
+   the exact witness accumulators into their canonical capped sets, and
+   freeze the sorted-children arrays. After this the forest is read-only. *)
+let finish ~reduce forest =
+  let stats =
+    if reduce then reduce_forest forest
+    else
+      let total = Hashtbl.fold (fun _ n acc -> acc + n.cost) forest 0 in
+      { pruned_roots = 0; pruned_cost = 0; total_root_cost = total }
+  in
+  let rec final n =
+    (match n.wacc with
+    | Some a ->
+      n.witnesses <- Provenance.Wacc.to_wset a;
+      n.wacc <- None
+    | None -> ());
+    Array.iter final (sorted_children n)
+  in
+  List.iter final (sorted_nodes forest);
+  { forest; stats }
 
 let build ?pool ?(reduce = true) components graphs =
   (* Per-graph conversion is pure and dominates the build; fan it out.
@@ -182,17 +217,11 @@ let build ?pool ?(reduce = true) components graphs =
         List.iter (merge_into ~src forest) cnodes)
       graphs converted
   else List.iter (List.iter (merge_into forest)) converted;
-  let stats =
-    if reduce then reduce_forest forest
-    else
-      let total = Hashtbl.fold (fun _ n acc -> acc + n.cost) forest 0 in
-      { pruned_roots = 0; pruned_cost = 0; total_root_cost = total }
-  in
-  (* Freeze sorted-children arrays while still single-domain: after this
-     point the forest is read-only and the frozen views can be shared by
+  (* [finish] reduces, canonicalises witnesses and freezes the
+     sorted-children arrays while still single-domain: after this point
+     the forest is read-only and the frozen views can be shared by
      parallel mining without publication races. *)
-  List.iter freeze_node (sorted_nodes forest);
-  { forest; stats }
+  finish ~reduce forest
 
 let roots t = sorted_nodes t.forest
 
@@ -307,3 +336,186 @@ let render t =
   in
   List.iter (go "") (roots t);
   Buffer.contents buf
+
+module Partial = struct
+  module Wire = Dptrace.Codec_binary.Wire
+
+  let corrupt fmt =
+    Format.kasprintf (fun m -> raise (Dptrace.Codec_binary.Corrupt m)) fmt
+
+  (* An unreduced, unfrozen forest: the contribution of one stream's
+     graphs to a scenario class's AWG. Reduction cannot run per stream —
+     whether a root is prunable depends on the children the *merged*
+     forest gives it — so partials stay raw and [merge_all] reduces once
+     at the end, which provably matches reducing a monolithic build (the
+     pruning rule only inspects the final forest). *)
+  type partial = (status, node) Hashtbl.t
+
+  let build components graphs =
+    let forest : partial = Hashtbl.create 16 in
+    if Provenance.enabled () then
+      List.iter
+        (fun (g : Wait_graph.t) ->
+          let src =
+            Provenance.ref_of g.Wait_graph.stream g.Wait_graph.instance
+          in
+          List.iter (merge_into ~src forest) (convert components g))
+        graphs
+    else
+      List.iter
+        (fun g -> List.iter (merge_into forest) (convert components g))
+        graphs;
+    forest
+
+  let is_empty (p : partial) = Hashtbl.length p = 0
+
+  (* Merging never adopts a source node: partials must stay intact (the
+     snapshot cache serialises them after merging), so targets are always
+     fresh and sources only read. All accumulation is commutative —
+     integer sums, max, exact witness-accumulator union — which is why
+     per-stream partials merged here in corpus order equal the
+     single-pass [build] over the same graphs. *)
+  let rec absorb ~into:(n : node) (src : node) =
+    n.cost <- n.cost + src.cost;
+    n.count <- n.count + src.count;
+    if src.max_cost > n.max_cost then n.max_cost <- src.max_cost;
+    (match src.wacc with
+    | Some a -> Provenance.Wacc.merge_into ~into:(node_wacc n) a
+    | None -> ());
+    Hashtbl.iter
+      (fun status c ->
+        let tgt =
+          match Hashtbl.find_opt n.children status with
+          | Some t -> t
+          | None ->
+            let t = fresh_node status in
+            Hashtbl.replace n.children status t;
+            t
+        in
+        absorb ~into:tgt c)
+      src.children
+
+  let merge_all ?(reduce = true) partials =
+    let forest : (status, node) Hashtbl.t = Hashtbl.create 64 in
+    List.iter
+      (fun p ->
+        Hashtbl.iter
+          (fun status root ->
+            let tgt =
+              match Hashtbl.find_opt forest status with
+              | Some t -> t
+              | None ->
+                let t = fresh_node status in
+                Hashtbl.replace forest status t;
+                t
+            in
+            absorb ~into:tgt root)
+          p)
+      partials;
+    finish ~reduce forest
+
+  (* --- wire form (inside snapshot-cache frames) ---
+
+     Statuses carry signature *names* (interning is process-local), all
+     numbers are LEB128 varints, children are written in sorted-status
+     order so the byte form of a partial is a pure function of its
+     content. Witness entries are the exact accumulator's, so a reloaded
+     partial merges bit-identically to a fresh one. *)
+
+  let write_status buf = function
+    | Waiting { wait_sig; unwait_sig } ->
+      Wire.w8 buf 0;
+      Wire.wstr buf (Signature.name wait_sig);
+      Wire.wstr buf (Signature.name unwait_sig)
+    | Running s ->
+      Wire.w8 buf 1;
+      Wire.wstr buf (Signature.name s)
+    | Hw s ->
+      Wire.w8 buf 2;
+      Wire.wstr buf (Signature.name s)
+
+  let read_status cur =
+    match Wire.r8 cur with
+    | 0 ->
+      let wait_sig = Signature.of_string (Wire.rstr cur) in
+      let unwait_sig = Signature.of_string (Wire.rstr cur) in
+      Waiting { wait_sig; unwait_sig }
+    | 1 -> Running (Signature.of_string (Wire.rstr cur))
+    | 2 -> Hw (Signature.of_string (Wire.rstr cur))
+    | k -> corrupt "Awg.Partial: unknown status tag %d" k
+
+  let write_ref buf (r : Provenance.instance_ref) =
+    Wire.wv buf r.Provenance.stream_id;
+    Wire.wstr buf r.Provenance.scenario;
+    Wire.wv buf r.Provenance.tid;
+    Wire.wv buf r.Provenance.t0;
+    Wire.wv buf r.Provenance.t1
+
+  let read_ref cur : Provenance.instance_ref =
+    let stream_id = Wire.rv cur in
+    let scenario = Wire.rstr cur in
+    let tid = Wire.rv cur in
+    let t0 = Wire.rv cur in
+    let t1 = Wire.rv cur in
+    { Provenance.stream_id; scenario; tid; t0; t1 }
+
+  let rec write_node buf n =
+    write_status buf n.status;
+    Wire.wv buf n.cost;
+    Wire.wv buf n.count;
+    Wire.wv buf n.max_cost;
+    let wentries =
+      match n.wacc with Some a -> Provenance.Wacc.entries a | None -> []
+    in
+    Wire.wv buf (List.length wentries);
+    List.iter
+      (fun (r, cost, count) ->
+        write_ref buf r;
+        Wire.wv buf cost;
+        Wire.wv buf count)
+      wentries;
+    let kids = sorted_bindings n.children in
+    Wire.wv buf (List.length kids);
+    List.iter (fun (_, c) -> write_node buf c) kids
+
+  let rec read_node cur =
+    let status = read_status cur in
+    let n = fresh_node status in
+    n.cost <- Wire.rv cur;
+    n.count <- Wire.rv cur;
+    n.max_cost <- Wire.rv cur;
+    let nw = Wire.rv cur in
+    if nw > 0 then begin
+      let acc = node_wacc n in
+      for _ = 1 to nw do
+        let r = read_ref cur in
+        let cost = Wire.rv cur in
+        let count = Wire.rv cur in
+        Provenance.Wacc.add_entry acc (r, cost, count)
+      done
+    end;
+    let nkids = Wire.rv cur in
+    for _ = 1 to nkids do
+      let c = read_node cur in
+      if Hashtbl.mem n.children c.status then
+        corrupt "Awg.Partial: duplicate child status";
+      Hashtbl.replace n.children c.status c
+    done;
+    n
+
+  let write buf (p : partial) =
+    let roots = sorted_bindings p in
+    Wire.wv buf (List.length roots);
+    List.iter (fun (_, n) -> write_node buf n) roots
+
+  let read cur : partial =
+    let forest : partial = Hashtbl.create 16 in
+    let nroots = Wire.rv cur in
+    for _ = 1 to nroots do
+      let n = read_node cur in
+      if Hashtbl.mem forest n.status then
+        corrupt "Awg.Partial: duplicate root status";
+      Hashtbl.replace forest n.status n
+    done;
+    forest
+end

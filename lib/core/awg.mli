@@ -35,7 +35,13 @@ type node = private {
   mutable witnesses : Provenance.Wset.t;
       (** Contributing (stream, scenario instance) support, capped to the
           costliest {!Provenance.default_k} entries. Empty unless
-          {!Provenance.enabled} was true during {!build}. *)
+          {!Provenance.enabled} was true during {!build}. Accumulated
+          exactly (uncapped) while the forest is built and truncated once
+          at finalisation, so the cap never makes aggregation
+          order-sensitive. *)
+  mutable wacc : Provenance.Wacc.t option;
+      (** The exact in-build accumulator behind [witnesses]; [None] when
+          provenance is off or once the forest is finalised. *)
   children : (status, node) Hashtbl.t;
   mutable frozen_kids : node array option;
       (** Children in sorted-status order, memoised by {!build} once the
@@ -103,3 +109,40 @@ val to_dot : t -> string
     signatures and C/N aggregates; node area hints at cost). *)
 
 val status_pp : Format.formatter -> status -> unit
+
+(** {1 Per-stream partial forests}
+
+    The unit of incremental re-analysis: one stream's contribution to a
+    scenario class's AWG, buildable in isolation, serialisable into the
+    snapshot cache, and mergeable such that
+    [Partial.merge_all (per-stream partials in corpus order)] is
+    bit-identical — costs, counts, max, reduction stats and provenance
+    witnesses — to {!build} over the same graphs in one pass. *)
+
+module Partial : sig
+  type partial
+  (** An unreduced, unfrozen forest. Reduction must wait for the merge:
+      whether a root is prunable depends on the children the {e merged}
+      forest gives it. *)
+
+  val build : Component.t -> Dpwaitgraph.Wait_graph.t list -> partial
+  (** Convert and aggregate one stream's graphs (same conversion and
+      merge as {!Awg.build}, minus reduce/freeze). Records exact witness
+      accumulators when {!Provenance.enabled}. *)
+
+  val merge_all : ?reduce:bool -> partial list -> t
+  (** Merge in list order (the result is order-independent — every
+      accumulation commutes), then reduce (default [true]), canonicalise
+      witnesses and freeze: the final AWG. Sources are only read, never
+      adopted or mutated, so partials stay valid for serialisation. *)
+
+  val is_empty : partial -> bool
+
+  val write : Buffer.t -> partial -> unit
+  (** Deterministic wire form (children in sorted-status order, signature
+      names, LEB128 varints) — the snapshot cache's payload. *)
+
+  val read : Dptrace.Codec_binary.Wire.cursor -> partial
+  (** Inverse of {!write}.
+      @raise Dptrace.Codec_binary.Corrupt on malformed input. *)
+end

@@ -249,6 +249,33 @@ let by_module components graphs =
          | 0 -> compare a.module_name b.module_name
          | c -> c)
 
+(* Combine per-module rows measured over disjoint streams: the distinct
+   tables behind [m_waitdist] key on (stream, event), so plain sums (and
+   max of maxes) are exact, and re-sorting restores [by_module]'s order. *)
+let merge_modules a b =
+  let tbl : (string, module_row) Hashtbl.t = Hashtbl.create 32 in
+  let feed r =
+    match Hashtbl.find_opt tbl r.module_name with
+    | Some p ->
+      Hashtbl.replace tbl r.module_name
+        {
+          p with
+          m_wait = p.m_wait + r.m_wait;
+          m_waitdist = p.m_waitdist + r.m_waitdist;
+          m_run = p.m_run + r.m_run;
+          m_counted_waits = p.m_counted_waits + r.m_counted_waits;
+          m_max_wait = max p.m_max_wait r.m_max_wait;
+        }
+    | None -> Hashtbl.replace tbl r.module_name r
+  in
+  List.iter feed a;
+  List.iter feed b;
+  Hashtbl.fold (fun _ r acc -> r :: acc) tbl []
+  |> List.sort (fun a b ->
+         match compare b.m_wait a.m_wait with
+         | 0 -> compare a.module_name b.module_name
+         | c -> c)
+
 let module_propagation_ratio r =
   fdiv r.m_wait r.m_waitdist
 

@@ -31,6 +31,9 @@ type result = {
   counted_runs : int;
 }
 
+val empty : result
+(** All-zero: the identity of {!merge}. *)
+
 val analyze_graphs : Component.t -> Dpwaitgraph.Wait_graph.t list -> result
 (** Measure over prebuilt Wait Graphs (graphs from the same stream must
     share event identities, which {!Dpwaitgraph.Wait_graph.build}
@@ -93,6 +96,12 @@ type module_row = {
 val by_module : Component.t -> Dpwaitgraph.Wait_graph.t list -> module_row list
 (** Same counting rules as {!analyze_graphs}, broken down per module;
     sorted by [m_wait] descending. *)
+
+val merge_modules : module_row list -> module_row list -> module_row list
+(** Combine breakdowns measured over {e disjoint streams} (sums, max of
+    maxes), restoring {!by_module}'s sort; exact for the same reason
+    {!merge} is. The snapshot cache merges per-stream breakdowns through
+    here. *)
 
 val module_propagation_ratio : module_row -> float
 (** [m_wait /. m_waitdist] — how widely this module's waits propagate. *)

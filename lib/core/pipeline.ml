@@ -156,6 +156,145 @@ let run_all ?pool ?k ?reduce ?scenarios components corpus =
   | None -> List.map one names)
   |> List.filter_map Fun.id
 
+(* --- snapshot-backed variants ---
+
+   Each mirrors its from-scratch counterpart exactly: the snapshot holds
+   the same per-stream partials the plain paths' reductions produce, and
+   they are merged here in the same order (corpus stream order) with the
+   same merge operators, so every cached result — impact integers,
+   provenance reservoirs, AWG forests, mined patterns — is bit-identical
+   to the uncached run whatever mix of cache hits and misses produced
+   the entries. *)
+
+let fold_entries snapshot (corpus : Dptrace.Corpus.t) ~init ~merge ~of_entry =
+  List.fold_left
+    (fun acc st -> merge acc (of_entry (Snapshot.entry snapshot st)))
+    init corpus.Dptrace.Corpus.streams
+
+let run_impact_snap snapshot corpus =
+  span "pipeline.impact_snap" @@ fun () ->
+  fold_entries snapshot corpus ~init:Impact.empty ~merge:Impact.merge
+    ~of_entry:Snapshot.entry_impact
+
+let run_impact_prov_snap snapshot corpus =
+  span "pipeline.impact_snap" @@ fun () ->
+  fold_entries snapshot corpus
+    ~init:(Impact.empty, Provenance.empty_impact)
+    ~merge:(fun (r1, p1) (r2, p2) ->
+      (Impact.merge r1 r2, Provenance.merge_impact p1 p2))
+    ~of_entry:Snapshot.entry_impact_prov
+
+let modules_snap snapshot corpus =
+  fold_entries snapshot corpus ~init:[] ~merge:Impact.merge_modules
+    ~of_entry:Snapshot.entry_modules
+
+let impact_per_scenario_snap snapshot corpus =
+  let impact_of name =
+    let r =
+      fold_entries snapshot corpus ~init:Impact.empty ~merge:Impact.merge
+        ~of_entry:(fun e ->
+          Option.value ~default:Impact.empty
+            (Snapshot.entry_scenario_impact e name))
+    in
+    if Dpobs.metrics_on () then
+      Dpobs.Metrics.incr (Lazy.force scenarios_done);
+    (name, r)
+  in
+  List.map impact_of (Dptrace.Corpus.scenario_names corpus)
+  |> List.sort (fun (na, (a : Impact.result)) (nb, (b : Impact.result)) ->
+         match compare b.Impact.d_wait a.Impact.d_wait with
+         | 0 -> compare na nb
+         | c -> c)
+
+let run_scenario_snap ?pool ?(k = Mining.default_k) ?(reduce = true) snapshot
+    corpus name =
+  span ~args:[ ("scenario", name) ] "pipeline.run_scenario_snap" @@ fun () ->
+  (* Classification is cheap (one pass over the instances) and part of
+     the result, so it is recomputed rather than cached. *)
+  let classification =
+    span "pipeline.classify" (fun () -> Classify.classify corpus name)
+  in
+  let parts =
+    List.filter_map
+      (fun st ->
+        Snapshot.entry_scenario_class (Snapshot.entry snapshot st) name)
+      corpus.Dptrace.Corpus.streams
+  in
+  let slow_impact, slow_impact_prov =
+    List.fold_left
+      (fun (r, p) (ri, pi, _, _) ->
+        (Impact.merge r ri, Provenance.merge_impact p pi))
+      (Impact.empty, Provenance.empty_impact)
+      parts
+  in
+  let fast_awg =
+    span "pipeline.awg_merge" (fun () ->
+        Awg.Partial.merge_all ~reduce
+          (List.map (fun (_, _, f, _) -> f) parts))
+  in
+  let slow_awg =
+    span "pipeline.awg_merge" (fun () ->
+        Awg.Partial.merge_all ~reduce
+          (List.map (fun (_, _, _, s) -> s) parts))
+  in
+  (* The miner dominates a warm re-analysis, and its inputs are a pure
+     function of the snapshot fingerprint + contributing streams, so its
+     result is cached at scenario granularity (digest-checked; identical
+     either way). *)
+  let mining =
+    span "pipeline.mining" (fun () ->
+        match Snapshot.find_mining snapshot corpus name ~reduce ~k with
+        | Some m -> m
+        | None ->
+          let m =
+            Mining.mine ?pool ~k ~fast:fast_awg ~slow:slow_awg
+              ~spec:classification.Classify.spec ()
+          in
+          Snapshot.store_mining snapshot corpus name ~reduce ~k m;
+          m)
+  in
+  let driver_cost =
+    Awg.total_leaf_cost slow_awg + (Awg.reduction slow_awg).Awg.pruned_cost
+  in
+  let coverages =
+    span "pipeline.evaluation" (fun () ->
+        Evaluation.time_coverages mining.Mining.patterns
+          ~tslow:classification.Classify.spec.Dptrace.Scenario.tslow
+          ~driver_cost)
+  in
+  {
+    classification;
+    slow_impact;
+    slow_impact_prov;
+    fast_awg;
+    slow_awg;
+    mining;
+    coverages;
+  }
+
+let run_all_snap ?pool ?k ?reduce ?scenarios snapshot corpus =
+  let names =
+    match scenarios with
+    | Some names -> names
+    | None -> Dptrace.Corpus.scenario_names corpus
+  in
+  (* Mirror run_all: one scenario per work item, mining sequential inside
+     the worker, results in [names] order. *)
+  let one name =
+    let r =
+      match run_scenario_snap ?k ?reduce snapshot corpus name with
+      | r -> Some (name, r)
+      | exception Not_found -> None
+    in
+    if Dpobs.metrics_on () then
+      Dpobs.Metrics.incr (Lazy.force scenarios_done);
+    r
+  in
+  (match pool with
+  | Some pool -> Dppar.Pool.parallel_map ~chunk:1 pool one names
+  | None -> List.map one names)
+  |> List.filter_map Fun.id
+
 let driver_cost_fraction r =
   (* Distinct driver time over slow-class scenario time: the paper's
      "Driver Cost" column is a plain share of execution time, so the

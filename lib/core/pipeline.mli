@@ -89,6 +89,57 @@ val impact_per_scenario :
     to the whole-corpus [d_scn]/[d_wait]/[d_run], but not [d_waitdist]:
     a wait shared by instances of two scenarios is distinct in each. *)
 
+(** {1 Snapshot-backed (incremental) variants}
+
+    Each mirrors its from-scratch counterpart over a {!Snapshot.t} the
+    caller has {!Snapshot.ensure}d for the corpus: per-stream cached
+    partials are merged in corpus stream order with the exact merge
+    operators the plain paths' own reductions use, then mining, selection
+    and coverage run on the merged aggregates as usual. Results are
+    {e bit-identical} to the uncached entry points — including provenance
+    and [--json] rendering — regardless of which entries were cache hits.
+
+    All raise [Invalid_argument] if the snapshot lacks an entry for some
+    stream (i.e. {!Snapshot.ensure} was not run for this corpus). *)
+
+val run_scenario_snap :
+  ?pool:Dppar.Pool.t ->
+  ?k:int ->
+  ?reduce:bool ->
+  Snapshot.t ->
+  Dptrace.Corpus.t ->
+  string ->
+  scenario_result
+(** Cached {!run_scenario}: classification is recomputed (cheap, and part
+    of the result); impact, provenance and both AWGs come from merged
+    snapshot partials; mining and coverages are computed on the merge.
+    @raise Not_found if the corpus has no spec for the scenario. *)
+
+val run_all_snap :
+  ?pool:Dppar.Pool.t ->
+  ?k:int ->
+  ?reduce:bool ->
+  ?scenarios:string list ->
+  Snapshot.t ->
+  Dptrace.Corpus.t ->
+  (string * scenario_result) list
+(** Cached {!run_all}. *)
+
+val run_impact_snap : Snapshot.t -> Dptrace.Corpus.t -> Impact.result
+(** Cached {!run_impact}. *)
+
+val run_impact_prov_snap :
+  Snapshot.t -> Dptrace.Corpus.t -> Impact.result * Provenance.impact
+(** Cached {!run_impact_prov}. *)
+
+val modules_snap : Snapshot.t -> Dptrace.Corpus.t -> Impact.module_row list
+(** Cached equivalent of {!Impact.by_module} over every instance's graph
+    (what [report --json] embeds). *)
+
+val impact_per_scenario_snap :
+  Snapshot.t -> Dptrace.Corpus.t -> (string * Impact.result) list
+(** Cached {!impact_per_scenario}. *)
+
 val driver_cost_fraction : scenario_result -> float
 (** Distinct slow-class driver time ([d_waitdist + d_run]) over slow-class
     scenario time — the "Driver Cost" column of Table 2. The ITC/TTC

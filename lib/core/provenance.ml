@@ -128,9 +128,61 @@ module Wset = struct
     renorm cap (Hashtbl.fold (fun _ e acc -> e :: acc) tbl [])
 
   let entries t = List.map (fun e -> (e.e_ref, e.e_cost, e.e_count)) t
+
+  (* Exact inverse of [entries]: trusts the caller's order and cap, so a
+     serialised set round-trips to the identical representation. *)
+  let of_entries l =
+    List.map (fun (e_ref, e_cost, e_count) -> { e_ref; e_cost; e_count }) l
   let total_cost t = List.fold_left (fun acc e -> acc + e.e_cost) 0 t
   let is_empty t = t = []
   let cardinal = List.length
+end
+
+module Wacc = struct
+  (* Exact (uncapped) witness accumulation. A capped [Wset.add] sequence
+     is path-dependent: once a ref is evicted, re-adding it restarts its
+     sums, so per-stream partials unioned later could disagree with the
+     sequential fold. Accumulating exactly and truncating once at the end
+     makes the whole computation commutative and associative — the
+     property the snapshot cache's merge correctness rests on. Node
+     counts bound the table size by the node's distinct supporting
+     instances, and extraction renormalises to a canonical capped
+     [Wset.t]. *)
+  type t = (int * Dputil.Time.t * int * string, Wset.entry) Hashtbl.t
+
+  let create () : t = Hashtbl.create 8
+
+  let key (r : instance_ref) = (r.stream_id, r.t0, r.tid, r.scenario)
+
+  let add_entry (t : t) (r, cost, count) =
+    let k = key r in
+    match Hashtbl.find_opt t k with
+    | Some e ->
+      Hashtbl.replace t k
+        {
+          e with
+          Wset.e_cost = e.Wset.e_cost + cost;
+          Wset.e_count = e.Wset.e_count + count;
+        }
+    | None -> Hashtbl.replace t k { Wset.e_ref = r; e_cost = cost; e_count = count }
+
+  let add t r ~cost = add_entry t (r, cost, 1)
+
+  let merge_into ~into (src : t) =
+    Hashtbl.iter
+      (fun _ (e : Wset.entry) ->
+        add_entry into (e.Wset.e_ref, e.Wset.e_cost, e.Wset.e_count))
+      src
+
+  let entries (t : t) =
+    Hashtbl.fold (fun _ e acc -> e :: acc) t []
+    |> List.sort Wset.order
+    |> List.map (fun (e : Wset.entry) -> (e.Wset.e_ref, e.Wset.e_cost, e.Wset.e_count))
+
+  let to_wset ?(cap = default_k) (t : t) =
+    Wset.renorm cap (Hashtbl.fold (fun _ e acc -> e :: acc) t [])
+
+  let is_empty (t : t) = Hashtbl.length t = 0
 end
 
 type wait_record = {

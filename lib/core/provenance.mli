@@ -97,9 +97,47 @@ module Wset : sig
   val entries : t -> (instance_ref * Dputil.Time.t * int) list
   (** [(ref, contributed cost, occurrences)], cost-descending. *)
 
+  val of_entries : (instance_ref * Dputil.Time.t * int) list -> t
+  (** Exact inverse of {!entries}: rebuilds the identical representation
+      from a previously serialised entry list. The caller must preserve
+      [entries] order and respect the cap — intended for
+      {!Snapshot}-style round-tripping, not general construction. *)
+
   val total_cost : t -> Dputil.Time.t
   val is_empty : t -> bool
   val cardinal : t -> int
+end
+
+module Wacc : sig
+  type t
+  (** A mutable {e exact} witness accumulator: per {!instance_ref}, total
+      contributed cost and occurrence count, with no cap. Unlike a
+      sequence of capped {!Wset.add}s — path-dependent once eviction
+      starts — exact accumulation is commutative and associative, so
+      per-stream accumulators merged in any order agree with the
+      sequential fold. {!Awg.build} accumulates through here and
+      truncates to a canonical capped {!Wset.t} only when the node
+      freezes; the snapshot cache serialises the exact entries so cached
+      merges stay bit-identical to from-scratch runs. *)
+
+  val create : unit -> t
+  val add : t -> instance_ref -> cost:Dputil.Time.t -> unit
+  (** One occurrence: [cost + cost], [count + 1]. *)
+
+  val add_entry : t -> instance_ref * Dputil.Time.t * int -> unit
+  (** Merge a pre-aggregated [(ref, cost, count)] entry. *)
+
+  val merge_into : into:t -> t -> unit
+
+  val entries : t -> (instance_ref * Dputil.Time.t * int) list
+  (** All entries, cost-descending (ties on ref) — canonical, for
+      serialisation. *)
+
+  val to_wset : ?cap:int -> t -> Wset.t
+  (** Renormalise to the capped canonical form; [cap] defaults to
+      {!default_k}. *)
+
+  val is_empty : t -> bool
 end
 
 (** {1 Impact provenance} *)

@@ -42,8 +42,10 @@ let trailer_payload nstreams =
   Codec_binary.Wire.wv buf nstreams;
   Buffer.contents buf
 
-let stream_payload (st : Stream.t) =
-  Dpobs.Span.with_span "codec_v2.encode_stream" @@ fun () ->
+(* Payload body without telemetry: shared by the writer and by
+   [stream_key], which re-encodes cache-less streams for their identity
+   and must not count them as written. *)
+let stream_payload_raw (st : Stream.t) =
   let buf = Buffer.create 65536 in
   (* Frame-local signature table, first-appearance order: every frame
      decodes on its own, so one corrupt frame cannot strand the table —
@@ -69,9 +71,14 @@ let stream_payload (st : Stream.t) =
   Codec_binary.write_stream buf
     ~sig_index:(fun s -> Hashtbl.find sig_index s)
     st;
+  Buffer.contents buf
+
+let stream_payload st =
+  Dpobs.Span.with_span "codec_v2.encode_stream" @@ fun () ->
+  let payload = stream_payload_raw st in
   if Dpobs.metrics_on () then
     Dpobs.Metrics.incr (Lazy.force streams_written_c);
-  Buffer.contents buf
+  payload
 
 let decode_header payload =
   let cur = Codec_binary.Wire.cursor payload in
@@ -85,7 +92,7 @@ let decode_trailer payload =
   if not (Codec_binary.Wire.at_end cur) then corrupt "trailer frame: trailing bytes";
   n
 
-let decode_stream_payload payload =
+let decode_stream_payload ?key payload =
   Dpobs.Span.with_span "codec_v2.decode_stream" @@ fun () ->
   let cur = Codec_binary.Wire.cursor payload in
   let sigs =
@@ -101,6 +108,10 @@ let decode_stream_payload payload =
   let st = Codec_binary.read_stream cur ~sig_of in
   if not (Codec_binary.Wire.at_end cur) then corrupt "stream frame: trailing bytes";
   if Dpobs.metrics_on () then Dpobs.Metrics.incr (Lazy.force streams_read_c);
+  (* The frame checksum was already verified by the reader; memoising it
+     as the stream's content identity makes cache-keyed re-analysis free
+     of re-encoding for loaded corpora. *)
+  (match key with Some k -> Stream.set_key_memo st k | None -> ());
   st
 
 (* --- frame envelope --- *)
@@ -113,6 +124,26 @@ let le32 buf v =
 
 let frame_crc kind payload =
   Dputil.Crc32.string ~crc:(Dputil.Crc32.string (String.make 1 kind)) payload
+
+(* --- stream content identity ---
+
+   A stream's key is the CRC-32 of its would-be 'S' frame plus the
+   payload length — exactly what the frame envelope stores on disk, so a
+   loaded stream's key (captured during decode, checksum pre-verified)
+   and a generated stream's key (re-encoded here) agree whenever the
+   content does. The payload is deterministic: the signature table is in
+   first-appearance order, a pure function of the event array. *)
+
+let key_of_crc crc ~len = Printf.sprintf "%08x-%d" (crc land 0xffffffff) len
+
+let stream_key (st : Stream.t) =
+  match Stream.key_memo st with
+  | Some k -> k
+  | None ->
+    let payload = stream_payload_raw st in
+    let k = key_of_crc (frame_crc 'S' payload) ~len:(String.length payload) in
+    Stream.set_key_memo st k;
+    k
 
 let frame_string kind payload =
   let buf = Buffer.create (13 + String.length payload) in
@@ -412,7 +443,7 @@ let fold_raw mode src ~init ~f =
               src.pos <- src.pos + len;
               let frame = !idx in
               incr idx;
-              match f !acc ~frame ~offset:off kind payload with
+              match f !acc ~frame ~offset:off ~crc kind payload with
               | v -> acc := v
               | exception Codec_binary.Corrupt m ->
                 (match mode with
@@ -473,7 +504,7 @@ let fold_src mode src ~init ~f =
   let specs = ref [] in
   let declared = ref None in
   let loaded = ref 0 in
-  let handle acc ~frame:_ ~offset:_ kind payload =
+  let handle acc ~frame:_ ~offset:_ ~crc kind payload =
     match kind with
     | 'H' ->
       specs := !specs @ decode_header payload;
@@ -482,7 +513,8 @@ let fold_src mode src ~init ~f =
       declared := Some (decode_trailer payload);
       acc
     | _ ->
-      let st = checked_stream mode (decode_stream_payload payload) in
+      let key = key_of_crc crc ~len:(String.length payload) in
+      let st = checked_stream mode (decode_stream_payload ~key payload) in
       incr loaded;
       f acc st
   in
@@ -513,8 +545,9 @@ let load_pooled mode pool src =
       pending := [];
       let results =
         Dppar.Pool.parallel_map ~chunk:1 pool
-          (fun (frame, off, payload) ->
-            match checked_stream mode (decode_stream_payload payload) with
+          (fun (frame, off, crc, payload) ->
+            let key = key_of_crc crc ~len:(String.length payload) in
+            match checked_stream mode (decode_stream_payload ~key payload) with
             | st -> Ok st
             | exception Codec_binary.Corrupt m -> (
               match mode with
@@ -532,12 +565,12 @@ let load_pooled mode pool src =
         results
   in
   let (), diags, frames, end_off =
-    fold_raw mode src ~init:() ~f:(fun () ~frame ~offset kind payload ->
+    fold_raw mode src ~init:() ~f:(fun () ~frame ~offset ~crc kind payload ->
         match kind with
         | 'H' -> specs := !specs @ decode_header payload
         | 'E' -> declared := Some (decode_trailer payload)
         | _ ->
-          pending := (frame, offset, payload) :: !pending;
+          pending := (frame, offset, crc, payload) :: !pending;
           if List.length !pending >= batch_size then flush ())
   in
   flush ();

@@ -106,3 +106,15 @@ val load : ?mode:mode -> ?pool:Dppar.Pool.t -> string -> Corpus.t * report
     and bit-identical to the sequential load.
     @raise Codec_binary.Corrupt in [`Strict] mode on any corruption
     @raise Sys_error if the file cannot be opened. *)
+
+(** {1 Stream content identity} *)
+
+val stream_key : Stream.t -> string
+(** The stream's content identity: the CRC-32 and byte length of its 'S'
+    frame, as ["%08x-%d"] — exactly what the frame envelope stores on
+    disk. Streams decoded by {!load}/{!decode}/{!fold_streams} carry the
+    key already (captured from the verified frame checksum, via
+    {!Stream.key_memo}); for any other stream the payload is re-encoded
+    once here and the key memoised. Two streams share a key iff their
+    serialised content is identical, which is what makes it safe as a
+    cache key for per-stream analysis results ({!Dpcore.Snapshot}). *)

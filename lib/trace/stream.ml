@@ -8,7 +8,8 @@ type t = {
   events : Event.t array;
   instances : Scenario.instance list;
   threads : (int * string) list;
-  mutable memo_index : index option;
+  memo_index : index option Atomic.t;
+  memo_key : string option Atomic.t;
 }
 
 let create ~id ~events ~instances ~threads =
@@ -32,7 +33,14 @@ let create ~id ~events ~instances ~threads =
   let renumbered =
     Array.mapi (fun i (_, (e : Event.t)) -> { e with Event.id = i }) tagged
   in
-  { id; events = renumbered; instances; threads; memo_index = None }
+  {
+    id;
+    events = renumbered;
+    instances;
+    threads;
+    memo_index = Atomic.make None;
+    memo_key = Atomic.make None;
+  }
 
 let thread_name t tid =
   match List.assoc_opt tid t.threads with
@@ -73,34 +81,36 @@ let index t =
         t.events;
   }
 
-(* Protects [memo_index] publication across domains. Index construction
-   runs outside the lock: a race on the same stream at worst computes the
-   (pure, identical) index twice; the first store wins. *)
-let memo_mutex = Mutex.create ()
-
 (* Cache effectiveness of the memoised index — a racing double build
    counts as two misses, which is exactly the wasted work. *)
 let index_hits = lazy (Dpobs.Metrics.counter "stream.index.hit")
 let index_misses = lazy (Dpobs.Metrics.counter "stream.index.miss")
 
+(* Publication is a single compare-and-set on an [Atomic.t]: the plain
+   mutable field it replaces was read outside the old mutex, which was a
+   data race under the domain pool (torn in theory, and flagged by TSan).
+   Index construction runs before the CAS: a race on the same stream at
+   worst computes the (pure, identical) index twice; the first store wins
+   and losers adopt it, so every caller observes one index identity. *)
 let shared_index t =
-  match t.memo_index with
+  match Atomic.get t.memo_index with
   | Some idx ->
     if Dpobs.metrics_on () then Dpobs.Metrics.incr (Lazy.force index_hits);
     idx
   | None ->
     if Dpobs.metrics_on () then Dpobs.Metrics.incr (Lazy.force index_misses);
     let idx = index t in
-    Mutex.lock memo_mutex;
-    let idx =
-      match t.memo_index with
-      | Some existing -> existing
-      | None ->
-        t.memo_index <- Some idx;
-        idx
-    in
-    Mutex.unlock memo_mutex;
-    idx
+    if Atomic.compare_and_set t.memo_index None (Some idx) then idx
+    else
+      (* Lost the race: the winner's index is now published. *)
+      Option.get (Atomic.get t.memo_index)
+
+let key_memo t = Atomic.get t.memo_key
+
+let set_key_memo t key =
+  (* First writer wins; all writers derive the key from the same stream
+     content, so losing the race changes nothing. *)
+  ignore (Atomic.compare_and_set t.memo_key None (Some key))
 
 let events_of_thread idx tid =
   Option.value ~default:[||] (Hashtbl.find_opt idx.by_tid tid)

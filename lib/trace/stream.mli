@@ -14,8 +14,11 @@ type t = private {
   events : Event.t array;  (** Sorted by [ts]; [events.(i).id = i]. *)
   instances : Scenario.instance list;
   threads : (int * string) list;  (** tid → human-readable thread name. *)
-  mutable memo_index : index option;
+  memo_index : index option Atomic.t;
       (** Memoised by {!shared_index}; never read directly. *)
+  memo_key : string option Atomic.t;
+      (** Memoised content identity (codec-v2 frame checksum); see
+          {!key_memo}. *)
 }
 
 val create :
@@ -47,8 +50,20 @@ val index : t -> index
 val shared_index : t -> index
 (** The stream's memoised index: built on first use, then reused by every
     later call on the same stream value — across scenarios, analysis
-    passes and domains (the memo is domain-safe). Corpus-scope analyses
-    that used to rebuild the index per call share one instead. *)
+    passes and domains (the memo is an [Atomic.t] published with a single
+    compare-and-set, so concurrent first calls race benignly and all
+    observe one index identity). Corpus-scope analyses that used to
+    rebuild the index per call share one instead. *)
+
+val key_memo : t -> string option
+(** The stream's memoised content-identity key, if one was recorded —
+    [Codec_v2] stores the frame checksum here during load so cache-keyed
+    re-analysis ({!Snapshot} in dpcore) never re-encodes a stream it just
+    decoded. *)
+
+val set_key_memo : t -> string -> unit
+(** Record the content-identity key. First writer wins (the key is a pure
+    function of the stream content, so racing writers agree). *)
 
 val events_of_thread : index -> int -> Event.t array
 (** All events of a thread, timestamp-ordered ([| |] for unknown tids). *)

@@ -6,11 +6,34 @@ type t = {
 
 let create ?(buckets = 20) samples =
   if buckets < 1 then invalid_arg "Histogram.create: buckets must be >= 1";
+  (* NaN samples carry no position on the axis: drop them up front (the
+     old Float.min/Float.max folds let one NaN poison lo/hi and send
+     every bucket index to 0). All-NaN degrades to the empty case. *)
+  let samples =
+    if Array.exists Float.is_nan samples then begin
+      Logf.debug "Histogram.create: dropping %d NaN sample(s)"
+        (Array.fold_left
+           (fun n x -> if Float.is_nan x then n + 1 else n)
+           0 samples);
+      Array.of_list
+        (List.filter (fun x -> not (Float.is_nan x)) (Array.to_list samples))
+    end
+    else samples
+  in
   if Array.length samples = 0 then { lo = 0.0; hi = 0.0; bins = [||] }
   else begin
     let lo = Array.fold_left Float.min samples.(0) samples in
     let hi = Array.fold_left Float.max samples.(0) samples in
     if lo = hi then { lo; hi; bins = [| Array.length samples |] }
+    else if not (Float.is_finite (hi -. lo)) then begin
+      (* Infinite range: equal-width bucketing is meaningless (width is
+         infinite or NaN and every index computation degenerates), so
+         fall back to the single-bucket shape. *)
+      Logf.debug
+        "Histogram.create: infinite sample range [%g, %g], using one bucket"
+        lo hi;
+      { lo; hi; bins = [| Array.length samples |] }
+    end
     else begin
       let bins = Array.make buckets 0 in
       let width = (hi -. lo) /. float_of_int buckets in
@@ -33,8 +56,11 @@ let bounds t =
   if n = 0 then [||]
   else begin
     let width = (t.hi -. t.lo) /. float_of_int n in
+    (* Pin the outer edges to the exact sample extremes: beyond closing
+       the last bin, this keeps the endpoints NaN-free when the range is
+       infinite (0.0 *. infinity is NaN). *)
     Array.init n (fun i ->
-        ( t.lo +. (float_of_int i *. width),
+        ( (if i = 0 then t.lo else t.lo +. (float_of_int i *. width)),
           if i = n - 1 then t.hi else t.lo +. (float_of_int (i + 1) *. width) ))
   end
 

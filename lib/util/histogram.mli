@@ -8,7 +8,10 @@ type t
 val create : ?buckets:int -> float array -> t
 (** Bucket the samples into [buckets] (default 20) equal-width bins
     between the sample min and max. An empty input yields an empty
-    histogram; a constant input yields one full bin. *)
+    histogram; a constant input yields one full bin. NaN samples are
+    dropped (all-NaN behaves like empty) and a sample range too wide for
+    a finite bucket width (e.g. spanning both infinities) collapses to
+    the single-bucket case; both degradations log one debug line. *)
 
 val bucket_count : t -> int
 

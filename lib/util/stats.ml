@@ -1,23 +1,50 @@
+(* NaN policy: every order/moment statistic ignores NaN samples (they
+   carry no ordering or magnitude information — a NaN duration is a
+   measurement hole, not data). [sum] alone stays a plain IEEE fold, so
+   totals still surface upstream poisoning instead of hiding it. *)
+
+let count_non_nan xs =
+  Array.fold_left (fun n x -> if Float.is_nan x then n else n + 1) 0 xs
+
+let drop_nan xs =
+  if count_non_nan xs = Array.length xs then xs
+  else
+    Array.of_list
+      (List.filter (fun x -> not (Float.is_nan x)) (Array.to_list xs))
+
 let sum xs = Array.fold_left ( +. ) 0.0 xs
 
 let mean xs =
+  let xs = drop_nan xs in
   let n = Array.length xs in
   if n = 0 then 0.0 else sum xs /. float_of_int n
 
 let stddev xs =
+  let xs = drop_nan xs in
   let n = Array.length xs in
   if n < 2 then 0.0
   else
     let m = mean xs in
-    let acc = Array.fold_left (fun a x -> a +. ((x -. m) ** 2.0)) 0.0 xs in
+    let acc =
+      Array.fold_left
+        (fun a x ->
+          let d = x -. m in
+          a +. (d *. d))
+        0.0 xs
+    in
     sqrt (acc /. float_of_int n)
 
 let percentile xs p =
+  let xs = drop_nan xs in
   let n = Array.length xs in
   if n = 0 then 0.0
   else begin
     let sorted = Array.copy xs in
-    Array.sort compare sorted;
+    (* [Float.compare], not polymorphic [compare]: the generic compare
+       boxes every element and its NaN ordering is representation-
+       dependent — with NaN already filtered the two agree on the order,
+       but only [Float.compare] says so by contract. *)
+    Array.sort Float.compare sorted;
     let p = Float.max 0.0 (Float.min 100.0 p) in
     let rank = p /. 100.0 *. float_of_int (n - 1) in
     let lo = int_of_float (Float.floor rank) in
@@ -30,8 +57,16 @@ let percentile xs p =
 
 let median xs = percentile xs 50.0
 
-let minimum xs = if Array.length xs = 0 then 0.0 else Array.fold_left Float.min xs.(0) xs
-let maximum xs = if Array.length xs = 0 then 0.0 else Array.fold_left Float.max xs.(0) xs
+(* Float.min/Float.max propagate NaN from either argument, so a single
+   NaN sample used to poison the whole fold; fold over the filtered
+   samples instead. *)
+let minimum xs =
+  let xs = drop_nan xs in
+  if Array.length xs = 0 then 0.0 else Array.fold_left Float.min xs.(0) xs
+
+let maximum xs =
+  let xs = drop_nan xs in
+  if Array.length xs = 0 then 0.0 else Array.fold_left Float.max xs.(0) xs
 
 let ratio a b = if b = 0.0 then 0.0 else a /. b
 let pct part whole = 100.0 *. ratio part whole
@@ -48,6 +83,7 @@ type summary = {
 }
 
 let summarize xs =
+  let xs = drop_nan xs in
   {
     count = Array.length xs;
     mean = mean xs;

@@ -1,27 +1,39 @@
 (** Descriptive statistics over float samples.
 
     Used by the evaluation layer for summarising distributions of scenario
-    durations, pattern costs and coverage curves. *)
+    durations, pattern costs and coverage curves.
+
+    {b NaN policy}: every statistic except {!sum} ignores NaN samples — a
+    NaN duration is a measurement hole, not data, and [Float.min]/
+    [Float.max]/sort folds would otherwise silently poison whole
+    summaries. An all-NaN input behaves like an empty one (the documented
+    empty-array defaults apply), and {!summarize}'s [count] is the number
+    of non-NaN samples. {!sum} stays a plain IEEE fold (NaN in → NaN
+    out) so totals still surface upstream poisoning. *)
 
 val mean : float array -> float
-(** Arithmetic mean; 0 for an empty array. *)
+(** Arithmetic mean of the non-NaN samples; 0 when none. *)
 
 val stddev : float array -> float
-(** Population standard deviation; 0 for fewer than two samples. *)
+(** Population standard deviation of the non-NaN samples; 0 for fewer
+    than two. *)
 
 val percentile : float array -> float -> float
 (** [percentile xs p] for [p] in [\[0,100\]], linear interpolation between
-    order statistics. The input need not be sorted. 0 for an empty array. *)
+    order statistics of the non-NaN samples (sorted with [Float.compare]).
+    The input need not be sorted. 0 when no non-NaN samples. *)
 
 val median : float array -> float
 
 val sum : float array -> float
+(** Plain left-to-right IEEE sum; the one statistic that does {e not}
+    filter NaN. *)
 
 val minimum : float array -> float
-(** 0 for an empty array. *)
+(** Smallest non-NaN sample; 0 when none. *)
 
 val maximum : float array -> float
-(** 0 for an empty array. *)
+(** Largest non-NaN sample; 0 when none. *)
 
 val ratio : float -> float -> float
 (** [ratio a b] is [a /. b], or 0 when [b = 0]; total division for report
@@ -42,5 +54,6 @@ type summary = {
 }
 
 val summarize : float array -> summary
+(** All fields over the non-NaN samples; [count] is their number. *)
 
 val pp_summary : Format.formatter -> summary -> unit

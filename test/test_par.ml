@@ -129,6 +129,37 @@ let test_shared_index_memoised () =
           (Array.length (Dptrace.Stream.events_of_thread a e.Dptrace.Event.tid)))
       st.Dptrace.Stream.events
 
+(* Regression: shared_index used a plain mutable field with its read
+   outside the lock, so domains racing on a cold memo could observe a
+   torn state or build distinct indexes. The memo is an Atomic now: all
+   concurrent readers must settle on one physical index. Repeated over
+   many cold streams to give the race room to fire. *)
+let test_shared_index_race () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      let corpus =
+        Dpworkload.Corpus_gen.generate (Dpworkload.Corpus_gen.scaled 0.05)
+      in
+      List.iter
+        (fun st ->
+          (* 16 tasks per stream, chunk 1: several domains hit the cold
+             memo at once. *)
+          let seen =
+            Pool.parallel_map ~chunk:1 pool
+              (fun _ -> Dptrace.Stream.shared_index st)
+              (List.init 16 Fun.id)
+          in
+          match seen with
+          | first :: rest ->
+            List.iteri
+              (fun i idx ->
+                check Alcotest.bool
+                  (Printf.sprintf "stream %d task %d: same index"
+                     st.Dptrace.Stream.id i)
+                  true (idx == first))
+              rest
+          | [] -> Alcotest.fail "no tasks ran")
+        corpus.Dptrace.Corpus.streams)
+
 (* --- pipeline determinism: sequential vs 4 domains --- *)
 
 let small_corpus =
@@ -210,6 +241,8 @@ let () =
         [
           Alcotest.test_case "memoised and consistent" `Quick
             test_shared_index_memoised;
+          Alcotest.test_case "4-domain cold-memo race" `Slow
+            test_shared_index_race;
         ] );
       ( "determinism",
         [

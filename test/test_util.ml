@@ -221,6 +221,40 @@ let test_stats_summary () =
   check (Alcotest.float 1e-9) "max" 4.0 s.Stats.max;
   check (Alcotest.float 1e-9) "p50" 2.5 s.Stats.p50
 
+(* Regression: percentile used polymorphic compare and min/max used
+   Float.min/Float.max, so one NaN sample poisoned (or scrambled) whole
+   summaries. NaN samples must be ignored everywhere except [sum]. *)
+let nan = Float.nan
+
+let test_stats_nan_policy () =
+  let xs = [| nan; 10.0; 20.0; nan; 30.0; 40.0 |] in
+  check (Alcotest.float 1e-9) "mean skips NaN" 25.0 (Stats.mean xs);
+  check (Alcotest.float 1e-9) "minimum skips NaN" 10.0 (Stats.minimum xs);
+  check (Alcotest.float 1e-9) "maximum skips NaN" 40.0 (Stats.maximum xs);
+  check (Alcotest.float 1e-9) "NaN-first minimum" 10.0
+    (Stats.minimum [| nan; 10.0 |]);
+  check (Alcotest.float 1e-9) "NaN-first maximum" 10.0
+    (Stats.maximum [| nan; 10.0 |]);
+  check (Alcotest.float 1e-9) "percentile skips NaN" 25.0
+    (Stats.percentile xs 50.0);
+  check (Alcotest.float 1e-9) "median of poisoned input" 25.0
+    (Stats.median xs);
+  check (Alcotest.float 1e-6) "stddev skips NaN"
+    (Stats.stddev [| 10.0; 20.0; 30.0; 40.0 |])
+    (Stats.stddev xs);
+  let s = Stats.summarize xs in
+  check Alcotest.int "summary counts non-NaN" 4 s.Stats.count;
+  check (Alcotest.float 1e-9) "summary min" 10.0 s.Stats.min;
+  check (Alcotest.float 1e-9) "summary max" 40.0 s.Stats.max;
+  (* All-NaN behaves like empty. *)
+  let all = [| nan; nan |] in
+  check (Alcotest.float 1e-9) "all-NaN mean" 0.0 (Stats.mean all);
+  check (Alcotest.float 1e-9) "all-NaN percentile" 0.0
+    (Stats.percentile all 90.0);
+  check Alcotest.int "all-NaN count" 0 (Stats.summarize all).Stats.count;
+  (* sum is the documented exception: it surfaces the poisoning. *)
+  check Alcotest.bool "sum keeps NaN" true (Float.is_nan (Stats.sum xs))
+
 let prop_percentile_monotone =
   QCheck.Test.make ~name:"percentile is monotone in p" ~count:200
     QCheck.(pair (list_of_size (Gen.int_range 1 30) (float_range 0.0 100.0))
@@ -290,6 +324,29 @@ let test_histogram_degenerate () =
   let constant = Histogram.create [| 5.0; 5.0; 5.0 |] in
   check (Alcotest.array Alcotest.int) "constant = one bin" [| 3 |]
     (Histogram.counts constant)
+
+(* Regression: NaN samples produced NaN bounds (and lost samples), and an
+   infinite sample range made the bucket width infinite — bounds came out
+   as [0 * infinity = nan]. Both now degrade to documented fallbacks. *)
+let test_histogram_nan_and_infinite () =
+  let h = Histogram.create ~buckets:4 [| nan; 1.0; 2.0; nan; 3.0; 4.0 |] in
+  check Alcotest.int "NaN samples dropped" 4
+    (Array.fold_left ( + ) 0 (Histogram.counts h));
+  Array.iter
+    (fun (lo, hi) ->
+      check Alcotest.bool "finite bounds" true
+        (Float.is_finite lo && Float.is_finite hi))
+    (Histogram.bounds h);
+  check Alcotest.int "all-NaN = empty" 0
+    (Histogram.bucket_count (Histogram.create [| nan; nan |]));
+  (* Range spanning both infinities: single bucket, exact bounds. *)
+  let inf = Histogram.create ~buckets:8 [| Float.neg_infinity; 0.0; Float.infinity |] in
+  check (Alcotest.array Alcotest.int) "infinite range = one bucket" [| 3 |]
+    (Histogram.counts inf);
+  let lo, hi = (Histogram.bounds inf).(0) in
+  check Alcotest.bool "bounds are the sample range" true
+    (lo = Float.neg_infinity && hi = Float.infinity);
+  ignore (Histogram.render inf)
 
 let test_histogram_render () =
   let h = Histogram.create ~buckets:2 [| 0.0; 0.1; 0.2; 10.0 |] in
@@ -377,6 +434,7 @@ let () =
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
           Alcotest.test_case "ratio" `Quick test_stats_ratio;
           Alcotest.test_case "summary" `Quick test_stats_summary;
+          Alcotest.test_case "NaN policy" `Quick test_stats_nan_policy;
           qcheck prop_percentile_monotone;
         ] );
       ( "interner",
@@ -390,6 +448,8 @@ let () =
         [
           Alcotest.test_case "binning" `Quick test_histogram_binning;
           Alcotest.test_case "degenerate" `Quick test_histogram_degenerate;
+          Alcotest.test_case "NaN and infinite range" `Quick
+            test_histogram_nan_and_infinite;
           Alcotest.test_case "render" `Quick test_histogram_render;
           qcheck prop_histogram_conserves_samples;
         ] );

@@ -89,11 +89,28 @@ def gate_mining(base, cur):
               f"current {c:.2f}x vs baseline {b:.2f}x (limit {limit:.2f}x)")
 
 
+def gate_snapshot(base, cur):
+    check("identical_results", cur.get("identical_results") is True,
+          f"current {cur.get('identical_results')}")
+    # Re-analysing a corpus grown by one stream must beat a cold run by
+    # 5x outright — a same-machine ratio, portable across runners — and
+    # neither cached path may give back more than 25% of the baseline's
+    # margin.
+    check("speedup_delta>=5", cur.get("speedup_delta", 0.0) >= 5.0,
+          f"current {cur.get('speedup_delta', 0.0):.2f}x (hard floor 5.00x)")
+    for key, floor in (("speedup_delta", 0.5), ("speedup_warm", 0.5)):
+        b, c = base[key], cur[key]
+        limit = b * (1.0 - REL_TOL) - floor
+        check(key, c >= limit,
+              f"current {c:.2f}x vs baseline {b:.2f}x (limit {limit:.2f}x)")
+
+
 GATES = {
     "parallel-scaling": gate_parallel,
     "obs-overhead": gate_obs,
     "provenance-overhead": gate_prov,
     "mining-throughput": gate_mining,
+    "snapshot-cache": gate_snapshot,
 }
 
 
