@@ -7,7 +7,8 @@
      BENCH_SEED         corpus seed (default 42)
      BENCH_QUOTA        seconds per Bechamel micro-benchmark (default 0.5)
      BENCH_ONLY         comma-separated section names to run (e1..e10, rq2,
-                        a1..a3, r1, parallel, mining, snapshot, micro);
+                        a1..a3, r1, parallel, mining, snapshot, monitor,
+                        micro);
                         unset runs everything
      DRIVEPERF_DOMAINS  default analysis parallelism (default: recommended
                         domain count); the scaling suite sweeps 1/2/4/this *)
@@ -679,6 +680,10 @@ let () =
         fun () ->
           section "Snapshot cache (cold / warm / +1-stream delta)";
           Snapshot_bench.run ~scale ~seed corpus );
+      ( "monitor",
+        fun () ->
+          section "Monitor tick (cold full / warm delta, replay determinism)";
+          Monitor_bench.run ~scale ~seed );
       ("micro", micro);
     ]
   in

@@ -1,0 +1,180 @@
+(* Monitor benchmark: the cost of one ingest tick, cold versus warm.
+
+   A fleet of calm corpus files plus one CPU-starved delta is replayed
+   through the monitor twice to prove byte-determinism of the alert log
+   and the exposition, then the tick path is timed: a cold monitor
+   ingesting the whole fleet and analysing from scratch, against a warm
+   monitor re-ticking after a single-file delta with the snapshot cache
+   populated. The incremental tick must win, and its snapshot stats must
+   show actual reuse. Writes BENCH_monitor.json.
+
+   The committed gate enforces identical_results = true,
+   snapshot_hits > 0 and speedup_tick >= 2. *)
+
+module Monitor = Dpmon.Monitor
+module Corpus_gen = Dpworkload.Corpus_gen
+module Codec_v2 = Dptrace.Codec_v2
+module Snapshot = Dpcore.Snapshot
+
+let env_int name default =
+  match Sys.getenv_opt name with Some v -> int_of_string v | None -> default
+
+let reps = max 1 (env_int "BENCH_REPS" 3)
+
+let time_best f =
+  ignore (f ());
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (f ()));
+    best := Float.min !best (Unix.gettimeofday () -. t0)
+  done;
+  !best
+
+let work_dir = "_monbench"
+
+let clear_dir () =
+  if Sys.file_exists work_dir then
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat work_dir f))
+      (Sys.readdir work_dir)
+  else Sys.mkdir work_dir 0o755
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let n_calm = 5
+
+let run ~scale ~seed =
+  clear_dir ();
+  let p name = Filename.concat work_dir name in
+  let gen ?cores ~cross s path =
+    let corpus =
+      Corpus_gen.generate
+        {
+          Corpus_gen.default_config with
+          seed = s;
+          scale;
+          cross_traffic = cross;
+          cores;
+        }
+    in
+    Codec_v2.save path corpus;
+    corpus
+  in
+  let calm =
+    List.init n_calm (fun i ->
+        let path = p (Printf.sprintf "calm%d.dpf" i) in
+        (path, gen ~cross:false (seed + i) path))
+  in
+  let delta_path = p "delta.dpf" in
+  let delta = gen ~cores:1 ~cross:true (seed + 9) delta_path in
+  let streams =
+    List.fold_left
+      (fun n (_, c) -> n + Dptrace.Corpus.stream_count c)
+      (Dptrace.Corpus.stream_count delta)
+      calm
+  in
+
+  let config ~tag =
+    {
+      Monitor.default_config with
+      replicates = 40;
+      alert_log = Some (p (tag ^ ".jsonl"));
+      metrics_out = Some (p (tag ^ ".om"));
+    }
+  in
+
+  (* Determinism: the same manifest replayed twice must produce the same
+     bytes, alert for alert and sample for sample. *)
+  let manifest = p "replay.manifest" in
+  let oc = open_out manifest in
+  output_string oc "clock 1000\n";
+  List.iter
+    (fun (path, _) ->
+      Printf.fprintf oc "add %s\n" (Filename.basename path))
+    calm;
+  output_string oc "tick\nclock +5000\nadd delta.dpf\ntick\nclock +1000\ntick\n";
+  close_out oc;
+  let s1 = Monitor.replay (config ~tag:"replay1") ~manifest in
+  let s2 = Monitor.replay (config ~tag:"replay2") ~manifest in
+  let identical =
+    read_file (p "replay1.jsonl") = read_file (p "replay2.jsonl")
+    && read_file (p "replay1.om") = read_file (p "replay2.om")
+    && s1 = s2
+  in
+
+  (* Cold: a fresh monitor swallows the whole fleet in one tick. *)
+  let cold_tick () =
+    let t = Monitor.create (config ~tag:"cold") in
+    Fun.protect ~finally:(fun () -> Monitor.close t) @@ fun () ->
+    Monitor.set_clock t 0;
+    List.iter
+      (fun (path, _) -> ignore (Monitor.ingest t ~mtime_ms:0 path : (_, _) result))
+      calm;
+    ignore (Monitor.ingest t ~mtime_ms:0 delta_path : (_, _) result);
+    ignore (Monitor.tick t : Dpmon.Rules.alert list)
+  in
+  let t_cold = time_best cold_tick in
+
+  (* Warm: the standing monitor re-ticks a one-file delta against its
+     populated in-memory snapshot — the steady-state watch cost. *)
+  let t = Monitor.create (config ~tag:"warm") in
+  let t_warm, stats =
+    Fun.protect ~finally:(fun () -> Monitor.close t) @@ fun () ->
+    Monitor.set_clock t 0;
+    List.iter
+      (fun (path, _) -> ignore (Monitor.ingest t ~mtime_ms:0 path : (_, _) result))
+      calm;
+    ignore (Monitor.tick t : Dpmon.Rules.alert list);
+    let warm_tick () =
+      ignore (Monitor.ingest t ~mtime_ms:0 delta_path : (_, _) result);
+      ignore (Monitor.tick t : Dpmon.Rules.alert list)
+    in
+    let t_warm = time_best warm_tick in
+    (t_warm, Monitor.snapshot_stats t)
+  in
+  let hits, mining_hits =
+    match stats with
+    | Some s -> (s.Snapshot.s_hits, s.Snapshot.s_mining_hits)
+    | None -> (0, 0)
+  in
+  let speedup = t_cold /. t_warm in
+
+  Printf.printf
+    "monitor (%d files, %d streams, best of %d):\n\
+    \  cold full tick %.3fs\n\
+    \  warm delta tick %.3fs (%.1fx)\n\
+    \  snapshot hits %d (mining %d)\n\
+    \  replay alerts %d over %d ticks\n\
+    \  deterministic replay: %s\n"
+    (n_calm + 1) streams reps t_cold t_warm speedup hits mining_hits
+    s1.Monitor.r_alerts s1.Monitor.r_ticks
+    (if identical then "yes" else "NO - REPLAY DIVERGED");
+
+  let oc = open_out "BENCH_monitor.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"monitor-tick\",\n\
+    \  \"corpus_scale\": %g,\n\
+    \  \"seed\": %d,\n\
+    \  \"reps\": %d,\n\
+    \  \"files\": %d,\n\
+    \  \"streams\": %d,\n\
+    \  \"ticks\": %d,\n\
+    \  \"alerts\": %d,\n\
+    \  \"seconds_cold_full\": %.3f,\n\
+    \  \"seconds_warm_tick\": %.3f,\n\
+    \  \"speedup_tick\": %.2f,\n\
+    \  \"snapshot_hits\": %d,\n\
+    \  \"snapshot_mining_hits\": %d,\n\
+    \  \"identical_results\": %b\n\
+     }\n"
+    scale seed reps (n_calm + 1) streams s1.Monitor.r_ticks
+    s1.Monitor.r_alerts t_cold t_warm speedup hits mining_hits identical;
+  close_out oc;
+  print_endline "wrote BENCH_monitor.json";
+  if not identical then exit 1

@@ -18,6 +18,7 @@
      diff        compare mined patterns across two corpora
      baseline    run the Section 6 baseline analyses
      analyze     one-shot full analyst report
+     monitor     watch a corpus directory, alert on drift, export metrics
 
    Corpus files are auto-detected by content (text v1 / binary v1 /
    framed v2); extensions select the *output* format: .dpb binary v1,
@@ -28,32 +29,13 @@ open Cmdliner
 let is_binary_path path = Filename.check_suffix path ".dpb"
 let is_framed_path path = Filename.check_suffix path ".dpf"
 
-type corpus_format = Text | Binary | Framed
+(* Format detection and decoding are shared with the monitor via
+   {!Dptrace.Corpus_dir} (content-sniffed; extension fallback). *)
 
-let format_name = function
-  | Text -> "text v1"
-  | Binary -> "binary v1"
-  | Framed -> "framed v2"
+type corpus_format = Dptrace.Corpus_dir.format = Text | Binary | Framed
 
-(* Input format is sniffed from the magic, not the extension: a renamed
-   file must not be mis-parsed. The extension is only the fallback for
-   unreadable/empty prefixes. *)
-let sniff_format path =
-  let ic = open_in_bin path in
-  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
-  let buf = Bytes.create 7 in
-  let n = input ic buf 0 7 in
-  let prefix = Bytes.sub_string buf 0 n in
-  let starts p =
-    String.length prefix >= String.length p
-    && String.sub prefix 0 (String.length p) = p
-  in
-  if starts "DPTF" then Framed
-  else if starts "DPTB" then Binary
-  else if starts "dptrace" then Text
-  else if is_framed_path path then Framed
-  else if is_binary_path path then Binary
-  else Text
+let format_name = Dptrace.Corpus_dir.format_name
+let sniff_format = Dptrace.Corpus_dir.sniff_format
 
 let format_of_out path =
   if is_binary_path path then Binary
@@ -67,7 +49,7 @@ let file_size path =
 
 (* Input volume by detected format, for `driveperf stats` and the
    metrics dump. *)
-let record_input_bytes path fmt =
+let record_input_bytes bytes fmt =
   if Dpobs.metrics_on () then
     let name =
       match fmt with
@@ -75,43 +57,35 @@ let record_input_bytes path fmt =
       | Binary -> "corpus.bytes.binary_v1"
       | Framed -> "corpus.bytes.framed_v2"
     in
-    Dpobs.Metrics.add (Dpobs.Metrics.counter name) (file_size path)
+    Dpobs.Metrics.add (Dpobs.Metrics.counter name) bytes
 
 let load_corpus ?pool ~mode path =
-  try
-    let fmt = sniff_format path in
-    record_input_bytes path fmt;
-    match fmt with
-    | Framed ->
-      let corpus, report = Dptrace.Codec_v2.load ~mode ?pool path in
-      if report.Dptrace.Codec_v2.dropped <> [] then begin
-        let n_dropped = List.length report.Dptrace.Codec_v2.dropped in
-        if Dpobs.metrics_on () then
-          Dpobs.Metrics.add
-            (Dpobs.Metrics.counter "codec.frames_dropped")
-            n_dropped;
-        (* Per-frame {frame; offset; reason} details are debug-level;
-           the warn summary points at the knob that reveals them. *)
-        List.iter
-          (fun d ->
-            Dpobs.Log.debug "%s: %a" path Dptrace.Codec_v2.pp_diagnostic d)
-          report.Dptrace.Codec_v2.dropped;
-        Dpobs.Log.warn
-          "%s: recovered %d stream(s) from %d frame(s), %d problem(s) \
-           (--log-level debug for per-frame details)"
-          path report.Dptrace.Codec_v2.streams report.Dptrace.Codec_v2.frames
-          n_dropped
-      end;
-      corpus
-    | Binary -> Dptrace.Codec_binary.load path
-    | Text -> Dptrace.Codec.load path
-  with
-  | Dptrace.Codec_binary.Corrupt m ->
-    Dpobs.Log.error "%s: corrupt corpus: %s" path m;
+  match Dptrace.Corpus_dir.load ?pool ~mode path with
+  | Error msg ->
+    Dpobs.Log.error "%s" msg;
     exit 1
-  | Dptrace.Codec.Parse_error { line; message } ->
-    Dpobs.Log.error "%s:%d: %s" path line message;
-    exit 1
+  | Ok { Dptrace.Corpus_dir.l_corpus; l_format; l_bytes; l_report } ->
+    record_input_bytes l_bytes l_format;
+    (match l_report with
+    | Some report when report.Dptrace.Codec_v2.dropped <> [] ->
+      let n_dropped = List.length report.Dptrace.Codec_v2.dropped in
+      if Dpobs.metrics_on () then
+        Dpobs.Metrics.add
+          (Dpobs.Metrics.counter "codec.frames_dropped")
+          n_dropped;
+      (* Per-frame {frame; offset; reason} details are debug-level;
+         the warn summary points at the knob that reveals them. *)
+      List.iter
+        (fun d ->
+          Dpobs.Log.debug "%s: %a" path Dptrace.Codec_v2.pp_diagnostic d)
+        report.Dptrace.Codec_v2.dropped;
+      Dpobs.Log.warn
+        "%s: recovered %d stream(s) from %d frame(s), %d problem(s) \
+         (--log-level debug for per-frame details)"
+        path report.Dptrace.Codec_v2.streams report.Dptrace.Codec_v2.frames
+        n_dropped
+    | _ -> ());
+    l_corpus
 
 let save_corpus ?pool path corpus =
   match format_of_out path with
@@ -319,8 +293,16 @@ let with_progress o ~label ~total counter_name f =
 
 (* --- generate --- *)
 
-let generate seed scale out =
-  let config = { Dpworkload.Corpus_gen.default_config with seed; scale } in
+let generate seed scale no_cross cores out =
+  let config =
+    {
+      Dpworkload.Corpus_gen.default_config with
+      seed;
+      scale;
+      cross_traffic = not no_cross;
+      cores = (if cores <= 0 then None else Some cores);
+    }
+  in
   let corpus = Dpworkload.Corpus_gen.generate config in
   save_corpus out corpus;
   Format.printf "%a@.wrote %s (%s format)@." Dptrace.Corpus.pp_summary corpus
@@ -335,9 +317,29 @@ let generate_cmd =
       & opt string "corpus.dpt"
       & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output path.")
   in
+  let no_cross =
+    Arg.(
+      value & flag
+      & info [ "no-cross-traffic" ]
+          ~doc:
+            "Disable background cross-traffic (AntiVirus/ConfigManager \
+             contention): a calm corpus, useful as a monitor baseline \
+             against which a default (contended) corpus registers as a \
+             regression.")
+  in
+  let cores =
+    Arg.(
+      value & opt int 0
+      & info [ "cores" ] ~docv:"N"
+          ~doc:
+            "Engage the engine's N-core run-queue model (CPU pressure). 0 \
+             (default) models unbounded capacity, the regime the paper's \
+             numbers live in. Low values synthesise a CPU-starved fleet — \
+             an injectable regression for monitor tests.")
+  in
   Cmd.v
     (Cmd.info "generate" ~doc:"Synthesise a trace corpus")
-    Term.(const generate $ seed_arg $ scale_arg $ out)
+    Term.(const generate $ seed_arg $ scale_arg $ no_cross $ cores $ out)
 
 (* --- impact --- *)
 
@@ -755,24 +757,38 @@ let convert_cmd =
 
 (* --- diff --- *)
 
-let diff before after scenario threshold mode =
+let diff before after scenario threshold min_support json mode =
   let before_c = load_corpus ~mode before
   and after_c = load_corpus ~mode after in
   let run c = Dpcore.Pipeline.run_scenario Dpcore.Component.drivers c scenario in
   let rb = run before_c and ra = run after_c in
   let entries =
-    Dpcore.Diff.compare_patterns ~threshold
+    Dpcore.Diff.compare_patterns ~threshold ~min_support
       ~before:rb.Dpcore.Pipeline.mining.Dpcore.Mining.patterns
       ~after:ra.Dpcore.Pipeline.mining.Dpcore.Mining.patterns ()
   in
-  Printf.printf "%s\n" (Dpcore.Diff.summary entries);
-  List.iter
-    (fun e ->
-      match e.Dpcore.Diff.change with
-      | Dpcore.Diff.Stable -> ()
-      | _ -> Format.printf "%a@." Dpcore.Diff.pp_entry e)
-    entries;
+  if json then
+    print_string
+      (Dputil.Jsonw.to_string
+         (Dpcore.Diff.json_document ~scenario ~threshold ~min_support entries))
+  else begin
+    Printf.printf "%s\n" (Dpcore.Diff.summary entries);
+    List.iter
+      (fun e ->
+        match e.Dpcore.Diff.change with
+        | Dpcore.Diff.Stable -> ()
+        | _ -> Format.printf "%a@." Dpcore.Diff.pp_entry e)
+      entries
+  end;
   0
+
+let min_support_arg =
+  let doc =
+    "Instance-count floor for a pattern verdict: appeared/regressed \
+     (and disappeared) entries covering fewer instances classify as \
+     stable, so one-off patterns cannot raise noise."
+  in
+  Arg.(value & opt int 1 & info [ "min-support" ] ~docv:"N" ~doc)
 
 let diff_cmd =
   let before =
@@ -789,9 +805,19 @@ let diff_cmd =
       value & opt float 1.5
       & info [ "threshold" ] ~docv:"R" ~doc:"Avg-cost regression factor.")
   in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the diff as JSON (the schema the monitor's alert log \
+             embeds) instead of text.")
+  in
   Cmd.v
     (Cmd.info "diff" ~doc:"Compare mined patterns across two corpora")
-    Term.(const diff $ before $ after $ scenario $ threshold $ mode_arg)
+    Term.(
+      const diff $ before $ after $ scenario $ threshold $ min_support_arg
+      $ json $ mode_arg)
 
 (* --- baseline --- *)
 
@@ -1341,6 +1367,178 @@ let cache_cmd =
     (Cmd.info "cache" ~doc:"Inspect and maintain --cache directories")
     Term.(const cache_action $ action $ dir $ keep)
 
+(* --- monitor --- *)
+
+let monitor dir replay listen interval max_ticks window top_patterns
+    replicates seed min_support threshold lag_ms cache alert_log metrics_out
+    pats j mode =
+  let components = components_of pats in
+  let rules =
+    [
+      Dpmon.Rules.Ia_drift { metric = `Wait };
+      Dpmon.Rules.Pattern_appeared { min_support };
+      Dpmon.Rules.Pattern_regressed { min_support; threshold };
+      Dpmon.Rules.Ingest_lag { max_ms = lag_ms };
+      Dpmon.Rules.Parse_failure;
+    ]
+  in
+  let config =
+    {
+      Dpmon.Monitor.components;
+      rules;
+      window;
+      k = Dpcore.Mining.default_k;
+      top_patterns;
+      replicates;
+      seed;
+      mode;
+      cache_dir = cache;
+      alert_log;
+      metrics_out;
+    }
+  in
+  match replay with
+  | Some manifest -> (
+    match Dpmon.Monitor.replay config ~manifest with
+    | s ->
+      Printf.printf
+        "replay: %d tick(s) over %d file(s): %d alert(s), %d parse \
+         failure(s)\n"
+        s.Dpmon.Monitor.r_ticks s.Dpmon.Monitor.r_files
+        s.Dpmon.Monitor.r_alerts s.Dpmon.Monitor.r_parse_failures;
+      0
+    | exception Failure msg ->
+      Dpobs.Log.error "%s" msg;
+      1)
+  | None -> (
+    match
+      with_cli_pool j @@ fun pool ->
+      Dpmon.Monitor.watch ~pool ?listen ~interval_s:interval ?max_ticks
+        config ~dir
+    with
+    | () -> 0
+    | exception Failure msg ->
+      Dpobs.Log.error "%s" msg;
+      1)
+
+let monitor_cmd =
+  let dir =
+    Arg.(
+      value & opt string "."
+      & info [ "dir"; "d" ] ~docv:"DIR"
+          ~doc:
+            "Corpus directory to tail: every new or changed .dpt/.dpb/.dpf \
+             file is ingested on the next tick.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "replay" ] ~docv:"MANIFEST"
+          ~doc:
+            "Deterministic replay: apply the manifest's clock/add/tick \
+             directives under a virtual clock instead of watching \
+             $(b,--dir). The same manifest always produces byte-identical \
+             alert logs and metric expositions.")
+  in
+  let listen =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:
+            "Serve the OpenMetrics exposition on http://ADDR/metrics \
+             between ticks (PORT or HOST:PORT; port 0 picks one).")
+  in
+  let interval =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval" ] ~docv:"SECONDS"
+          ~doc:"Seconds between directory scans in watch mode.")
+  in
+  let max_ticks =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-ticks" ] ~docv:"N"
+          ~doc:"Stop watch mode after N ticks (default: run until killed).")
+  in
+  let window =
+    Arg.(
+      value & opt int 8
+      & info [ "window" ] ~docv:"N"
+          ~doc:
+            "Rolling window: the N most recently arrived corpus files \
+             form the analysed corpus and the baseline.")
+  in
+  let top_patterns =
+    Arg.(
+      value & opt int 10
+      & info [ "top-patterns" ] ~docv:"N"
+          ~doc:
+            "Baseline depth: diff only the N top-ranked mined patterns \
+             per scenario (0 = all).")
+  in
+  let replicates =
+    Arg.(
+      value & opt int 200
+      & info [ "replicates" ] ~docv:"N"
+          ~doc:"Bootstrap replicates for the drift confidence interval.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "bootstrap-seed" ] ~docv:"SEED"
+          ~doc:"Bootstrap resampling seed.")
+  in
+  let min_support =
+    let doc =
+      "Pattern support floor for the appeared/regressed alert rules."
+    in
+    Arg.(
+      value
+      & opt int Dpmon.Rules.default_min_support
+      & info [ "min-support" ] ~docv:"N" ~doc)
+  in
+  let threshold =
+    Arg.(
+      value & opt float 1.5
+      & info [ "threshold" ] ~docv:"R"
+          ~doc:"Avg-cost growth factor for the regression alert rule.")
+  in
+  let lag_ms =
+    Arg.(
+      value & opt int 60_000
+      & info [ "lag-limit" ] ~docv:"MS"
+          ~doc:"Ingest-lag alert threshold, milliseconds.")
+  in
+  let alert_log =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "alert-log" ] ~docv:"FILE"
+          ~doc:
+            "Append alerts as JSON Lines (deterministic field order; \
+             pattern alerts embed the $(b,diff --json) entry schema).")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Rewrite FILE after every tick with the full OpenMetrics \
+             text exposition (same body $(b,--listen) serves).")
+  in
+  Cmd.v
+    (Cmd.info "monitor"
+       ~doc:"Continuously watch a corpus directory and alert on drift")
+    Term.(
+      const monitor $ dir $ replay $ listen $ interval $ max_ticks $ window
+      $ top_patterns $ replicates $ seed $ min_support $ threshold $ lag_ms
+      $ cache_arg $ alert_log $ metrics_out $ components_arg $ domains_arg
+      $ mode_arg)
+
 let main_cmd =
   let doc = "trace-based performance comprehension for device drivers" in
   let info = Cmd.info "driveperf" ~version:"1.0.0" ~doc in
@@ -1364,6 +1562,7 @@ let main_cmd =
       analyze_cmd;
       timeline_cmd;
       cache_cmd;
+      monitor_cmd;
     ]
 
 (* Arm DRIVEPERF_LOG before command dispatch so the level also applies to

@@ -26,7 +26,8 @@ let severity = function
   | Improved f -> (3, -.f)
   | Stable -> (4, 0.0)
 
-let compare_patterns ?(threshold = 1.5) ~before ~after () =
+let compare_patterns ?(threshold = 1.5) ?(min_support = 1) ~before ~after () =
+  let supported (p : Mining.pattern) = p.Mining.count >= min_support in
   let old_table : Mining.pattern Tuple_table.t = Tuple_table.create 64 in
   List.iter
     (fun (p : Mining.pattern) -> Tuple_table.replace old_table p.Mining.tuple p)
@@ -39,15 +40,20 @@ let compare_patterns ?(threshold = 1.5) ~before ~after () =
       let entry =
         match Tuple_table.find_opt old_table p.Mining.tuple with
         | None ->
-          { tuple = p.Mining.tuple; before = None; after = Some p; change = Appeared }
+          (* The claim "this behaviour appeared" rests on the new run's
+             support; below the floor it stays Stable (present, but no
+             alarm). *)
+          let change = if supported p then Appeared else Stable in
+          { tuple = p.Mining.tuple; before = None; after = Some p; change }
         | Some old ->
           let ratio =
             Dputil.Stats.ratio (Mining.avg_cost p) (Mining.avg_cost old)
           in
           let change =
-            if ratio > threshold then Regressed ratio
+            if ratio > threshold then
+              if supported p then Regressed ratio else Stable
             else if ratio > 0.0 && 1.0 /. ratio > threshold then
-              Improved (1.0 /. ratio)
+              if supported p then Improved (1.0 /. ratio) else Stable
             else Stable
           in
           { tuple = p.Mining.tuple; before = Some old; after = Some p; change }
@@ -62,7 +68,7 @@ let compare_patterns ?(threshold = 1.5) ~before ~after () =
             tuple = p.Mining.tuple;
             before = Some p;
             after = None;
-            change = Disappeared;
+            change = (if supported p then Disappeared else Stable);
           }
           :: !entries)
     before;
@@ -102,3 +108,83 @@ let pp_entry fmt e =
     | Stable -> "stable"
   in
   Format.fprintf fmt "%-16s %s" describe (Tuple.to_string e.tuple)
+
+(* --- machine-readable twin (shared with the monitor's alert log) --- *)
+
+module J = Dputil.Jsonw
+
+let change_kind = function
+  | Appeared -> "appeared"
+  | Disappeared -> "disappeared"
+  | Regressed _ -> "regressed"
+  | Improved _ -> "improved"
+  | Stable -> "stable"
+
+let json_tuple (t : Tuple.t) =
+  let names part =
+    J.Arr
+      (List.map
+         (fun s -> J.str (Dptrace.Signature.name s))
+         (Array.to_list part))
+  in
+  J.Obj
+    [
+      ("waits", names t.Tuple.waits);
+      ("unwaits", names t.Tuple.unwaits);
+      ("runnings", names t.Tuple.runnings);
+    ]
+
+let json_side = function
+  | None -> J.Null
+  | Some (p : Mining.pattern) ->
+    J.Obj
+      [
+        ("cost", J.time p.Mining.cost);
+        ("count", J.int p.Mining.count);
+        ("avg_cost_us", J.float (Mining.avg_cost p));
+        ("max_single", J.time p.Mining.max_single);
+      ]
+
+let json_entry e =
+  let factor =
+    match e.change with
+    | Regressed f | Improved f -> J.float f
+    | Appeared | Disappeared | Stable -> J.Null
+  in
+  J.Obj
+    [
+      ("tuple", json_tuple e.tuple);
+      ("change", J.str (change_kind e.change));
+      ("factor", factor);
+      ("before", json_side e.before);
+      ("after", json_side e.after);
+    ]
+
+let json_summary entries =
+  let count p = List.length (List.filter p entries) in
+  J.Obj
+    [
+      ("appeared", J.int (count (fun e -> e.change = Appeared)));
+      ( "regressed",
+        J.int
+          (count (fun e -> match e.change with Regressed _ -> true | _ -> false))
+      );
+      ("disappeared", J.int (count (fun e -> e.change = Disappeared)));
+      ( "improved",
+        J.int
+          (count (fun e -> match e.change with Improved _ -> true | _ -> false))
+      );
+      ("stable", J.int (count (fun e -> e.change = Stable)));
+    ]
+
+let json_document ~scenario ~threshold ~min_support entries =
+  J.Obj
+    [
+      ("tool", J.str "driveperf");
+      ("kind", J.str "diff");
+      ("scenario", J.str scenario);
+      ("threshold", J.float threshold);
+      ("min_support", J.int min_support);
+      ("summary", json_summary entries);
+      ("entries", J.Arr (List.map json_entry entries));
+    ]

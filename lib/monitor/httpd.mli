@@ -1,0 +1,29 @@
+(** Minimal single-threaded HTTP responder for the metrics endpoint.
+
+    One listening socket, one connection at a time, served inline from
+    the monitor's own loop between ticks — no threads, no domain, no
+    request queueing. That is deliberately tiny: the only client is a
+    metrics scraper hitting [/metrics] every few seconds, and serving
+    from the loop means the exposition is always a consistent snapshot
+    (never read mid-tick). *)
+
+type t
+
+val start : string -> t
+(** [start spec] binds and listens. [spec] is ["PORT"] (loopback) or
+    ["HOST:PORT"]; port 0 picks an ephemeral port (see {!port}).
+    @raise Failure when the address cannot be bound or parsed. *)
+
+val port : t -> int
+(** The bound port — useful after binding port 0. *)
+
+val poll : t -> timeout_s:float -> body:(unit -> string) -> bool
+(** Wait up to [timeout_s] for one connection and serve it: [GET /] and
+    [GET /metrics] answer 200 with [body ()] as an OpenMetrics
+    exposition, any other path 404, anything unparsable 400. Returns
+    whether a connection was handled. Never raises on client
+    misbehaviour (bad request, early close): the connection is dropped
+    and [poll] returns [true]. *)
+
+val stop : t -> unit
+(** Close the listening socket. Idempotent. *)

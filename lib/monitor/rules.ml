@@ -1,0 +1,51 @@
+type metric = [ `Wait | `Run | `Opt ]
+
+type rule =
+  | Ia_drift of { metric : metric }
+  | Pattern_appeared of { min_support : int }
+  | Pattern_regressed of { min_support : int; threshold : float }
+  | Ingest_lag of { max_ms : int }
+  | Parse_failure
+
+let name = function
+  | Ia_drift { metric = `Wait } -> "ia_drift_wait"
+  | Ia_drift { metric = `Run } -> "ia_drift_run"
+  | Ia_drift { metric = `Opt } -> "ia_drift_opt"
+  | Pattern_appeared _ -> "pattern_appeared"
+  | Pattern_regressed _ -> "pattern_regressed"
+  | Ingest_lag _ -> "ingest_lag"
+  | Parse_failure -> "parse_failure"
+
+let default_min_support = 3
+
+let defaults =
+  [
+    Ia_drift { metric = `Wait };
+    Pattern_appeared { min_support = default_min_support };
+    Pattern_regressed { min_support = default_min_support; threshold = 1.5 };
+    Ingest_lag { max_ms = 60_000 };
+    Parse_failure;
+  ]
+
+type alert = {
+  a_tick : int;
+  a_time_ms : int;
+  a_rule : string;
+  a_scenario : string option;
+  a_message : string;
+  a_data : Dputil.Jsonw.t;
+}
+
+module J = Dputil.Jsonw
+
+let alert_json a =
+  J.Obj
+    [
+      ("tick", J.int a.a_tick);
+      ("time_ms", J.int a.a_time_ms);
+      ("rule", J.str a.a_rule);
+      ( "scenario",
+        match a.a_scenario with None -> J.Null | Some s -> J.str s );
+      ("message", J.str a.a_message);
+      ("data", a.a_data);
+    ]

@@ -1,0 +1,57 @@
+(** Declarative alert rules and the alerts they raise.
+
+    A rule is a predicate the monitor evaluates once per ingest tick.
+    {e Relative} rules ({!Ia_drift}, {!Pattern_appeared},
+    {!Pattern_regressed}) compare the freshly analysed window against
+    the rolling baseline and are silent on the first tick (nothing to
+    compare against yet); {e absolute} rules ({!Ingest_lag},
+    {!Parse_failure}) hold from the first tick. *)
+
+type metric = [ `Wait | `Run | `Opt ]
+
+type rule =
+  | Ia_drift of { metric : metric }
+      (** The window's impact metric left the bootstrap confidence
+          interval of the baseline window. *)
+  | Pattern_appeared of { min_support : int }
+      (** {!Dpcore.Diff} reports an [Appeared] pattern covering at least
+          [min_support] instances in a scenario already present in the
+          baseline. *)
+  | Pattern_regressed of { min_support : int; threshold : float }
+      (** A matched pattern's average cost grew beyond [threshold]
+          (with the same support floor). *)
+  | Ingest_lag of { max_ms : int }
+      (** No corpus file has arrived for more than [max_ms]. *)
+  | Parse_failure  (** A corpus file failed to load. *)
+
+val name : rule -> string
+(** Stable identifier, used as the alert's [rule] field and the
+    [monitor.alerts{rule=..}] label: ["ia_drift_wait"],
+    ["ia_drift_run"], ["ia_drift_opt"], ["pattern_appeared"],
+    ["pattern_regressed"], ["ingest_lag"], ["parse_failure"]. *)
+
+val default_min_support : int
+(** 3 — single- and two-instance patterns never page anyone. *)
+
+val defaults : rule list
+(** One of each: IA_wait drift, appeared/regressed patterns at
+    {!default_min_support} (regression threshold 1.5), ingest lag at
+    60 s, parse failures. *)
+
+(** {1 Alerts} *)
+
+type alert = {
+  a_tick : int;  (** 1-based ingest tick that raised it. *)
+  a_time_ms : int;  (** Monitor clock (virtual under replay). *)
+  a_rule : string;  (** {!name} of the raising rule. *)
+  a_scenario : string option;  (** For pattern rules. *)
+  a_message : string;  (** One human-readable line. *)
+  a_data : Dputil.Jsonw.t;
+      (** Machine-readable evidence; pattern alerts embed the
+          {!Dpcore.Diff.json_entry} of the offending entry, so the alert
+          log and [driveperf diff --json] share one schema. *)
+}
+
+val alert_json : alert -> Dputil.Jsonw.t
+(** [{"tick":..,"time_ms":..,"rule":..,"scenario":..,"message":..,
+    "data":..}] — field order fixed, for byte-stable JSONL logs. *)

@@ -239,6 +239,55 @@ module Metrics = struct
   let watch c f = c.watcher <- Some f
   let unwatch c = c.watcher <- None
 
+  (* Help strings, keyed by the metric name *before* any label block, so
+     one description covers every labelled series of a family. *)
+  let help_table : (string, string) Hashtbl.t = Hashtbl.create 16
+  let help_mutex = Mutex.create ()
+
+  let describe name text =
+    Mutex.lock help_mutex;
+    Hashtbl.replace help_table name text;
+    Mutex.unlock help_mutex
+
+  let help name =
+    Mutex.lock help_mutex;
+    let h = Hashtbl.find_opt help_table name in
+    Mutex.unlock help_mutex;
+    h
+
+  (* OpenMetrics-style label escaping: backslash, double quote, newline.
+     The label block is baked into the registry name, so two label sets
+     are two independent series of the same family. *)
+  let escape_label_value v =
+    let buf = Buffer.create (String.length v + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      v;
+    Buffer.contents buf
+
+  let labelled name labels =
+    match labels with
+    | [] -> name
+    | labels ->
+      let buf = Buffer.create 64 in
+      Buffer.add_string buf name;
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf k;
+          Buffer.add_string buf "=\"";
+          Buffer.add_string buf (escape_label_value v);
+          Buffer.add_char buf '"')
+        labels;
+      Buffer.add_char buf '}';
+      Buffer.contents buf
+
   let reset () =
     Mutex.lock table_mutex;
     let entries = Hashtbl.fold (fun _ m acc -> m :: acc) table [] in
@@ -515,6 +564,118 @@ module Export = struct
     Buffer.contents buf
 
   let write_metrics path = write_file path (metrics_json ())
+
+  (* --- OpenMetrics text exposition --- *)
+
+  (* Shortest-roundtrip float, as in Dputil.Jsonw: a 12-significant-digit
+     rendering when it reparses exactly, the 17-digit one otherwise. *)
+  let om_float x =
+    if Float.is_integer x && Float.abs x < 1e15 then
+      Printf.sprintf "%.1f" x
+    else
+      let s = Printf.sprintf "%.12g" x in
+      if float_of_string s = x then s else Printf.sprintf "%.17g" x
+
+  (* A registry name [monitor.alerts{rule="x"}] splits into the family
+     [monitor.alerts] (sanitised to the OpenMetrics charset) and the
+     label block, kept verbatim — Metrics.labelled already escaped it. *)
+  let split_labels name =
+    match String.index_opt name '{' with
+    | None -> (name, "")
+    | Some i ->
+      let family = String.sub name 0 i in
+      let rest = String.sub name i (String.length name - i) in
+      (family, rest)
+
+  let sanitize_family name =
+    let buf = Buffer.create (String.length name) in
+    String.iteri
+      (fun i c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | ':' | '_' -> Buffer.add_char buf c
+        | '0' .. '9' ->
+          if i = 0 then Buffer.add_char buf '_';
+          Buffer.add_char buf c
+        | _ -> Buffer.add_char buf '_')
+      name;
+    Buffer.contents buf
+
+  let escape_help text =
+    let buf = Buffer.create (String.length text) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      text;
+    Buffer.contents buf
+
+  let kind_of = function
+    | Metrics.Counter _ -> "counter"
+    | Metrics.Gauge _ -> "gauge"
+    | Metrics.Histogram _ -> "summary"
+
+  let openmetrics () =
+    let entries = Metrics.dump () in
+    let buf = Buffer.create 8192 in
+    (* Entries arrive name-sorted; every series of a family shares the
+       raw prefix so one pass with a current-family watermark groups the
+       exposition correctly (TYPE/HELP once, then the samples). *)
+    let current = ref ("", "") in
+    List.iter
+      (fun (name, v) ->
+        let raw_family, labels = split_labels name in
+        let family = sanitize_family raw_family in
+        let kind = kind_of v in
+        if !current <> (family, kind) then begin
+          current := (family, kind);
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" family kind);
+          match Metrics.help raw_family with
+          | Some text ->
+            Buffer.add_string buf
+              (Printf.sprintf "# HELP %s %s\n" family (escape_help text))
+          | None -> ()
+        end;
+        let with_extra extra =
+          (* Merge an extra label into an existing (or absent) block. *)
+          match (labels, extra) with
+          | "", "" -> ""
+          | "", e -> "{" ^ e ^ "}"
+          | l, "" -> l
+          | l, e ->
+            "{" ^ String.sub l 1 (String.length l - 2) ^ "," ^ e ^ "}"
+        in
+        match v with
+        | Metrics.Counter n ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s_total%s %d\n" family (with_extra "") n)
+        | Metrics.Gauge n ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %d\n" family (with_extra "") n)
+        | Metrics.Histogram h ->
+          let q p =
+            if Array.length h.Metrics.samples = 0 then 0.0
+            else Dputil.Stats.percentile h.Metrics.samples p
+          in
+          List.iter
+            (fun (quant, value) ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s%s %s\n" family
+                   (with_extra (Printf.sprintf "quantile=\"%s\"" quant))
+                   (om_float value)))
+            [ ("0.5", q 50.0); ("0.9", q 90.0); ("0.99", q 99.0) ];
+          Buffer.add_string buf
+            (Printf.sprintf "%s_count%s %d\n" family (with_extra "")
+               h.Metrics.count);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum%s %s\n" family (with_extra "")
+               (om_float h.Metrics.sum)))
+      entries;
+    Buffer.add_string buf "# EOF\n";
+    Buffer.contents buf
+
+  let write_openmetrics path = write_file path (openmetrics ())
 end
 
 (* --- progress --- *)
@@ -588,4 +749,44 @@ module Progress = struct
     draw t (Metrics.counter_value t.counter) ~final:true;
     Printf.eprintf "\r%s\r%!" (String.make t.last_width ' ');
     Mutex.unlock t.render_mutex
+
+  (* Free-form status line for long-running modes (the monitor
+     dashboard): same tty gating, same 10 Hz rate limit, but the caller
+     pushes whole lines instead of watching a counter. *)
+  type line = {
+    l_mutex : Mutex.t;
+    mutable l_last_render_ns : int64;
+    mutable l_last_width : int;
+  }
+
+  let line_start () =
+    if not (is_tty ()) then None
+    else
+      Some { l_mutex = Mutex.create (); l_last_render_ns = 0L; l_last_width = 0 }
+
+  let line_draw l text ~final =
+    let now = now_ns () in
+    if final || Int64.sub now l.l_last_render_ns >= 100_000_000L then begin
+      l.l_last_render_ns <- now;
+      let pad = max 0 (l.l_last_width - String.length text) in
+      l.l_last_width <- String.length text;
+      Printf.eprintf "\r%s%s%!" text (String.make pad ' ')
+    end
+
+  let line_update l text =
+    if Mutex.try_lock l.l_mutex then
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock l.l_mutex)
+        (fun () -> line_draw l text ~final:false)
+
+  let line_set l text =
+    Mutex.lock l.l_mutex;
+    line_draw l text ~final:true;
+    Mutex.unlock l.l_mutex
+
+  let line_finish l =
+    Mutex.lock l.l_mutex;
+    Printf.eprintf "\r%s\r%!" (String.make l.l_last_width ' ');
+    l.l_last_width <- 0;
+    Mutex.unlock l.l_mutex
 end

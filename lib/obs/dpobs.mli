@@ -118,6 +118,18 @@ module Metrics : sig
 
   val unwatch : counter -> unit
 
+  val describe : string -> string -> unit
+  (** Attach a help string to a metric family, keyed by the name before
+      any label block; surfaced as [# HELP] in {!Export.openmetrics}. *)
+
+  val help : string -> string option
+
+  val labelled : string -> (string * string) list -> string
+  (** [labelled "monitor.alerts" ["rule", r]] builds the registry name
+      [monitor.alerts{rule="r"}] with OpenMetrics label-value escaping
+      (backslash, double quote, newline). Each label set is its own
+      series; {!Export.openmetrics} reunites them under one family. *)
+
   val reset : unit -> unit
   (** Zero every registered metric (cells survive, values clear). *)
 end
@@ -176,6 +188,19 @@ module Export : sig
       max,mean,p50,p90,p99}}}]. *)
 
   val write_metrics : string -> unit
+
+  val openmetrics : unit -> string
+  (** The whole registry as an OpenMetrics text exposition, terminated by
+      [# EOF]. Counters become [family_total], gauges bare samples,
+      histograms summaries ([quantile="0.5"/"0.9"/"0.99"] over the kept
+      reservoir plus [_count]/[_sum]). Family names are sanitised to
+      [[a-zA-Z0-9_:]]; label blocks built with {!Metrics.labelled} pass
+      through verbatim, and series of one family are grouped under a
+      single [# TYPE] (and [# HELP], when {!Metrics.describe}d) header.
+      Deterministic for a given registry state: families and series
+      emit in sorted name order. *)
+
+  val write_openmetrics : string -> unit
 end
 
 (** {1 Progress reporting} *)
@@ -193,4 +218,24 @@ module Progress : sig
 
   val finish : t -> unit
   (** Stop watching and erase the line. *)
+
+  (** {2 Free-form status line}
+
+      For long-running modes that redraw a one-line dashboard rather
+      than counting toward a known total. Same tty gating and ~10 Hz
+      rate limit as {!start}. *)
+
+  type line
+
+  val line_start : unit -> line option
+  (** [None] when stderr is not a tty. *)
+
+  val line_update : line -> string -> unit
+  (** Redraw with [text] if the rate limit allows; never blocks. *)
+
+  val line_set : line -> string -> unit
+  (** Redraw unconditionally (e.g. the final state of a tick). *)
+
+  val line_finish : line -> unit
+  (** Erase the line. *)
 end

@@ -1,0 +1,84 @@
+type format = Text | Binary | Framed
+
+let format_name = function
+  | Text -> "text v1"
+  | Binary -> "binary v1"
+  | Framed -> "framed v2"
+
+let is_binary_path path = Filename.check_suffix path ".dpb"
+let is_framed_path path = Filename.check_suffix path ".dpf"
+let is_text_path path = Filename.check_suffix path ".dpt"
+
+let is_corpus_file path =
+  is_binary_path path || is_framed_path path || is_text_path path
+
+let sniff_format path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  let buf = Bytes.create 7 in
+  let n = input ic buf 0 7 in
+  let prefix = Bytes.sub_string buf 0 n in
+  let starts p =
+    String.length prefix >= String.length p
+    && String.sub prefix 0 (String.length p) = p
+  in
+  if starts "DPTF" then Framed
+  else if starts "DPTB" then Binary
+  else if starts "dptrace" then Text
+  else if is_framed_path path then Framed
+  else if is_binary_path path then Binary
+  else Text
+
+type entry = { e_path : string; e_mtime_ms : int; e_size : int }
+
+let scan dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter is_corpus_file
+  |> List.sort compare
+  |> List.filter_map (fun name ->
+         let path = Filename.concat dir name in
+         match Unix.stat path with
+         | { Unix.st_kind = Unix.S_REG; st_mtime; st_size; _ } ->
+           Some
+             {
+               e_path = path;
+               e_mtime_ms = int_of_float (st_mtime *. 1000.0);
+               e_size = st_size;
+             }
+         | _ -> None
+         | exception Unix.Unix_error _ -> None)
+
+type loaded = {
+  l_corpus : Corpus.t;
+  l_format : format;
+  l_bytes : int;
+  l_report : Codec_v2.report option;
+}
+
+let file_size path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  in_channel_length ic
+
+let load ?pool ?(mode = `Strict) path =
+  match
+    let fmt = sniff_format path in
+    let bytes = file_size path in
+    match fmt with
+    | Framed ->
+      let corpus, report = Codec_v2.load ~mode ?pool path in
+      { l_corpus = corpus; l_format = fmt; l_bytes = bytes;
+        l_report = Some report }
+    | Binary ->
+      { l_corpus = Codec_binary.load path; l_format = fmt; l_bytes = bytes;
+        l_report = None }
+    | Text ->
+      { l_corpus = Codec.load path; l_format = fmt; l_bytes = bytes;
+        l_report = None }
+  with
+  | loaded -> Ok loaded
+  | exception Codec_binary.Corrupt m ->
+    Error (Printf.sprintf "%s: corrupt corpus: %s" path m)
+  | exception Codec.Parse_error { line; message } ->
+    Error (Printf.sprintf "%s:%d: %s" path line message)
+  | exception Sys_error m -> Error m

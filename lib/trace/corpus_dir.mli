@@ -1,0 +1,55 @@
+(** Corpus files on disk: format sniffing, directory scanning, loading.
+
+    The CLI historically kept its own copies of these; the monitor needs
+    the same logic as a library (it tails a directory of stream files and
+    must survive — and report — a corrupt drop-in rather than [exit 1]),
+    so the shared parts live here.
+
+    A "corpus file" is any of the three driveperf encodings: text v1
+    ([.dpt]), binary v1 ([.dpb]), framed v2 ([.dpf]). Detection is by
+    content magic with the extension as fallback, so a renamed file is
+    never mis-parsed. *)
+
+type format = Text | Binary | Framed
+
+val format_name : format -> string
+(** ["text v1"] / ["binary v1"] / ["framed v2"]. *)
+
+val sniff_format : string -> format
+(** Read the first bytes of [path] and match the magics ("dptrace",
+    "DPTB", "DPTF\002"); falls back to the extension, then to text. *)
+
+val is_corpus_file : string -> bool
+(** By extension: [.dpt], [.dpb] or [.dpf]. *)
+
+(** {1 Directory scanning} *)
+
+type entry = {
+  e_path : string;  (** Full path (dir/name). *)
+  e_mtime_ms : int;  (** Last modification, milliseconds since epoch. *)
+  e_size : int;  (** Bytes. *)
+}
+
+val scan : string -> entry list
+(** Corpus files directly under the directory, sorted by file name (no
+    recursion). Files that vanish between listing and [stat] are
+    skipped. @raise Sys_error when the directory itself is unreadable. *)
+
+(** {1 Loading} *)
+
+type loaded = {
+  l_corpus : Corpus.t;
+  l_format : format;
+  l_bytes : int;  (** File size. *)
+  l_report : Codec_v2.report option;  (** Framed v2 loads only. *)
+}
+
+val load :
+  ?pool:Dppar.Pool.t ->
+  ?mode:Codec_v2.mode ->
+  string ->
+  (loaded, string) result
+(** Sniff and decode one corpus file. All decode failures — including
+    [`Strict]-mode corruption and text parse errors — come back as
+    [Error message] rather than an exception, so a long-running caller
+    can count the failure and move on. [mode] defaults to [`Strict]. *)

@@ -1,0 +1,313 @@
+(* Tests for the continuous corpus monitor: replay determinism (equal
+   manifests produce byte-identical alert logs and OpenMetrics
+   expositions), significance-gated alerting (an injected CPU-starved
+   delta drifts outside the baseline CI; a no-op tick is silent),
+   absolute rules (parse failures, ingest lag), snapshot-cache reuse
+   across ticks, and the exposition format itself. *)
+
+module Corpus_gen = Dpworkload.Corpus_gen
+module Codec_v2 = Dptrace.Codec_v2
+module Monitor = Dpmon.Monitor
+module Rules = Dpmon.Rules
+
+let check = Alcotest.check
+
+(* --- sandboxed fixtures --- *)
+
+let dir_ctr = ref 0
+
+let fresh_dir () =
+  incr dir_ctr;
+  let dir = Printf.sprintf "monitor_%d" !dir_ctr in
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir)
+  else Sys.mkdir dir 0o755;
+  dir
+
+let gen_save ?(scale = 0.12) ?(cross = true) ?cores ~seed path =
+  let corpus =
+    Corpus_gen.generate
+      { Corpus_gen.default_config with seed; scale; cross_traffic = cross; cores }
+  in
+  Codec_v2.save path corpus
+
+(* Two calm files establish the baseline, a CPU-starved file is the
+   injected regression. Shared by several tests; built once per file. *)
+let fixture =
+  lazy
+    (let dir = fresh_dir () in
+     let p name = Filename.concat dir name in
+     gen_save ~seed:1 ~cross:false (p "calm1.dpf");
+     gen_save ~seed:2 ~cross:false (p "calm2.dpf");
+     gen_save ~seed:9 ~cores:1 (p "slow.dpf");
+     dir)
+
+let write_file path lines =
+  let oc = open_out path in
+  List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* The regression manifest: calm baseline tick, injected-delta tick,
+   no-op tick. *)
+let regression_manifest dir =
+  let mpath = Filename.concat dir "replay.manifest" in
+  write_file mpath
+    [
+      "# injected-regression replay";
+      "clock 1000";
+      "add calm1.dpf";
+      "add calm2.dpf";
+      "tick";
+      "clock +5000";
+      "add slow.dpf";
+      "tick";
+      "clock +1000";
+      "tick";
+    ];
+  mpath
+
+let config ~dir ~tag =
+  {
+    Monitor.default_config with
+    replicates = 40;
+    alert_log = Some (Filename.concat dir (tag ^ ".jsonl"));
+    metrics_out = Some (Filename.concat dir (tag ^ ".om"));
+  }
+
+let alerts_of_log path =
+  read_file path |> String.split_on_char '\n'
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.map (fun l ->
+         match Tjson.parse l with
+         | Tjson.Obj fields -> fields
+         | _ -> Alcotest.fail "alert line should be a JSON object")
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let field fields name = List.assoc name fields
+let num fields name =
+  match field fields name with
+  | Tjson.Num f -> f
+  | _ -> Alcotest.failf "field %s should be a number" name
+let str fields name =
+  match field fields name with
+  | Tjson.Str s -> s
+  | _ -> Alcotest.failf "field %s should be a string" name
+
+(* --- replay determinism --- *)
+
+let test_replay_deterministic () =
+  let fixture_dir = Lazy.force fixture in
+  let manifest = regression_manifest fixture_dir in
+  let dir = fresh_dir () in
+  let run tag =
+    let cfg = config ~dir ~tag in
+    let s = Monitor.replay cfg ~manifest in
+    ( s,
+      read_file (Option.get cfg.Monitor.alert_log),
+      read_file (Option.get cfg.Monitor.metrics_out) )
+  in
+  let s1, log1, om1 = run "one" in
+  let s2, log2, om2 = run "two" in
+  check Alcotest.string "alert logs byte-identical" log1 log2;
+  check Alcotest.string "expositions byte-identical" om1 om2;
+  check Alcotest.int "same tick count" s1.Monitor.r_ticks s2.Monitor.r_ticks;
+  check Alcotest.int "same alert count" s1.Monitor.r_alerts s2.Monitor.r_alerts;
+  check Alcotest.int "three ticks" 3 s1.Monitor.r_ticks;
+  check Alcotest.int "three files" 3 s1.Monitor.r_files;
+  check Alcotest.int "no parse failures" 0 s1.Monitor.r_parse_failures
+
+(* --- alerting: injected regression fires, no-op is silent --- *)
+
+let test_regression_alert () =
+  let fixture_dir = Lazy.force fixture in
+  let manifest = regression_manifest fixture_dir in
+  let dir = fresh_dir () in
+  let cfg = config ~dir ~tag:"alerts" in
+  let s = Monitor.replay cfg ~manifest in
+  check Alcotest.bool "alerts raised" true (s.Monitor.r_alerts > 0);
+  let alerts = alerts_of_log (Option.get cfg.Monitor.alert_log) in
+  (* Tick 1 establishes the baseline: no relative alerts. *)
+  check Alcotest.int "baseline tick is silent" 0
+    (List.length (List.filter (fun a -> num a "tick" = 1.0) alerts));
+  (* Tick 2 carries the injected regression: exactly one CI drift on
+     IA_wait, with the window's value outside the baseline interval. *)
+  let drifts =
+    List.filter (fun a -> str a "rule" = "ia_drift_wait") alerts
+  in
+  check Alcotest.int "exactly one ia_wait drift" 1 (List.length drifts);
+  let d = List.hd drifts in
+  check (Alcotest.float 1e-9) "on the delta tick" 2.0 (num d "tick");
+  (match field d "data" with
+  | Tjson.Obj data ->
+    check Alcotest.string "drift metric" "ia_wait" (str data "metric");
+    check Alcotest.bool "CI-separated" true
+      (num data "value" > num data "hi" || num data "value" < num data "lo")
+  | _ -> Alcotest.fail "drift data should be an object");
+  (* Regressed-pattern claims carry a factor beyond the threshold. *)
+  List.iter
+    (fun a ->
+      if str a "rule" = "pattern_regressed" then
+        match field a "data" with
+        | Tjson.Obj data ->
+          check Alcotest.bool "factor beyond threshold" true
+            (num data "factor" >= 1.5)
+        | _ -> Alcotest.fail "pattern data should be an object")
+    alerts;
+  (* The no-op tick raises nothing. *)
+  check Alcotest.int "no-op tick is silent" 0
+    (List.length (List.filter (fun a -> num a "tick" = 3.0) alerts))
+
+(* --- snapshot-cache reuse across ticks --- *)
+
+let test_snapshot_reuse () =
+  let fixture_dir = Lazy.force fixture in
+  let dir = fresh_dir () in
+  let t = Monitor.create (config ~dir ~tag:"reuse") in
+  Fun.protect ~finally:(fun () -> Monitor.close t) @@ fun () ->
+  Monitor.set_clock t 0;
+  (match Monitor.ingest t ~mtime_ms:0 (Filename.concat fixture_dir "calm1.dpf") with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "ingest: %s" e);
+  ignore (Monitor.tick t : Rules.alert list);
+  (match Monitor.ingest t ~mtime_ms:0 (Filename.concat fixture_dir "calm2.dpf") with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "ingest: %s" e);
+  ignore (Monitor.tick t : Rules.alert list);
+  match Monitor.snapshot_stats t with
+  | None -> Alcotest.fail "snapshot should exist after an analysed tick"
+  | Some s ->
+    check Alcotest.bool "warm tick reuses cached streams" true
+      (s.Dpcore.Snapshot.s_hits > 0);
+    check Alcotest.bool "new streams analysed" true
+      (s.Dpcore.Snapshot.s_misses > 0)
+
+(* --- absolute rules: parse failure and ingest lag --- *)
+
+let test_parse_failure_and_lag () =
+  let fixture_dir = Lazy.force fixture in
+  let dir = fresh_dir () in
+  let bad = Filename.concat dir "garbage.dpf" in
+  write_file bad [ "this is not a corpus" ];
+  let t = Monitor.create (config ~dir ~tag:"abs") in
+  Fun.protect ~finally:(fun () -> Monitor.close t) @@ fun () ->
+  Monitor.set_clock t 0;
+  (match Monitor.ingest t ~mtime_ms:0 (Filename.concat fixture_dir "calm1.dpf") with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "ingest: %s" e);
+  (match Monitor.ingest t ~mtime_ms:0 bad with
+  | Ok () -> Alcotest.fail "garbage should not load"
+  | Error _ -> ());
+  let alerts = Monitor.tick t in
+  check Alcotest.int "one parse-failure alert" 1
+    (List.length
+       (List.filter (fun a -> a.Rules.a_rule = "parse_failure") alerts));
+  (* Advance past the lag limit with nothing arriving. *)
+  Monitor.advance_clock t 120_000;
+  let alerts = Monitor.tick t in
+  check Alcotest.int "ingest-lag alert" 1
+    (List.length (List.filter (fun a -> a.Rules.a_rule = "ingest_lag") alerts));
+  check Alcotest.int "stale parse failure not re-raised" 0
+    (List.length
+       (List.filter (fun a -> a.Rules.a_rule = "parse_failure") alerts))
+
+(* --- scan: new and changed files only --- *)
+
+let test_scan_incremental () =
+  let dir = fresh_dir () in
+  gen_save ~seed:1 ~scale:0.05 ~cross:false (Filename.concat dir "a.dpf");
+  gen_save ~seed:2 ~scale:0.05 ~cross:false (Filename.concat dir "b.dpf");
+  let t = Monitor.create { Monitor.default_config with replicates = 10 } in
+  Fun.protect ~finally:(fun () -> Monitor.close t) @@ fun () ->
+  check Alcotest.int "first scan loads both" 2 (Monitor.scan t dir);
+  check Alcotest.int "second scan loads nothing" 0 (Monitor.scan t dir);
+  (* A rewrite (different size) is picked up. *)
+  gen_save ~seed:3 ~scale:0.06 ~cross:false (Filename.concat dir "b.dpf");
+  check Alcotest.int "changed file reloads" 1 (Monitor.scan t dir)
+
+(* --- the OpenMetrics exposition --- *)
+
+let test_openmetrics_exposition () =
+  let fixture_dir = Lazy.force fixture in
+  let manifest = regression_manifest fixture_dir in
+  let dir = fresh_dir () in
+  let cfg = config ~dir ~tag:"om" in
+  ignore (Monitor.replay cfg ~manifest : Monitor.replay_summary);
+  let om = read_file (Option.get cfg.Monitor.metrics_out) in
+  let has s = contains om s in
+  check Alcotest.bool "ends with EOF marker" true
+    (String.length om > 6
+    && String.sub om (String.length om - 6) 6 = "# EOF\n");
+  check Alcotest.bool "ticks counter" true (has "monitor_ticks_total 3");
+  check Alcotest.bool "files counter" true
+    (has "monitor_files_ingested_total 3");
+  check Alcotest.bool "streams counter" true
+    (has "# TYPE monitor_streams_ingested counter");
+  check Alcotest.bool "alerts by rule" true
+    (has "monitor_alerts_total{rule=\"ia_drift_wait\"} 1");
+  check Alcotest.bool "lag gauge typed" true
+    (has "# TYPE monitor_ingest_lag_ms gauge");
+  check Alcotest.bool "tick duration quantiles" true
+    (has "monitor_tick_duration{quantile=\"0.99\"}");
+  check Alcotest.bool "tick duration count" true
+    (has "monitor_tick_duration_count 3");
+  check Alcotest.bool "virtual durations are zero" true
+    (has "monitor_tick_duration_sum 0.0");
+  check Alcotest.bool "per-scenario gauge labelled" true
+    (has "monitor_scenario_ia_wait_ppm{scenario=\"AppLaunch\"}");
+  check Alcotest.bool "help text survives" true
+    (has "# HELP monitor_ticks Ingest ticks run")
+
+(* --- manifest errors --- *)
+
+let test_manifest_errors () =
+  let dir = fresh_dir () in
+  let mpath = Filename.concat dir "bad.manifest" in
+  write_file mpath [ "clock 0"; "frobnicate now" ];
+  (match Monitor.replay (config ~dir ~tag:"bad") ~manifest:mpath with
+  | exception Failure msg ->
+    check Alcotest.bool "names the line" true (contains msg ":2:")
+  | _ -> Alcotest.fail "malformed manifest should raise");
+  match Monitor.replay (config ~dir ~tag:"absent") ~manifest:"no/such/file" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "unreadable manifest should raise"
+
+let () =
+  Alcotest.run "monitor"
+    [
+      ( "replay",
+        [
+          Alcotest.test_case "byte-identical reruns" `Slow
+            test_replay_deterministic;
+          Alcotest.test_case "manifest errors carry line numbers" `Quick
+            test_manifest_errors;
+        ] );
+      ( "alerting",
+        [
+          Alcotest.test_case "injected regression drifts, no-op silent" `Slow
+            test_regression_alert;
+          Alcotest.test_case "parse failure and ingest lag" `Quick
+            test_parse_failure_and_lag;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "warm ticks hit the snapshot" `Slow
+            test_snapshot_reuse;
+          Alcotest.test_case "scan picks up new and changed files" `Quick
+            test_scan_incremental;
+        ] );
+      ( "exposition",
+        [
+          Alcotest.test_case "OpenMetrics families and samples" `Slow
+            test_openmetrics_exposition;
+        ] );
+    ]

@@ -105,12 +105,32 @@ def gate_snapshot(base, cur):
               f"current {c:.2f}x vs baseline {b:.2f}x (limit {limit:.2f}x)")
 
 
+def gate_monitor(base, cur):
+    check("identical_results", cur.get("identical_results") is True,
+          f"current {cur.get('identical_results')}")
+    # The warm tick must actually reuse the snapshot (hits are a count,
+    # portable across runners) and must beat a cold full tick by 1.5x
+    # outright; the speedup may not give back more than 25% of the
+    # baseline's margin.
+    check("snapshot_hits>0", cur.get("snapshot_hits", 0) > 0,
+          f"current {cur.get('snapshot_hits', 0)}")
+    check("snapshot_mining_hits>0", cur.get("snapshot_mining_hits", 0) > 0,
+          f"current {cur.get('snapshot_mining_hits', 0)}")
+    check("speedup_tick>=1.5", cur.get("speedup_tick", 0.0) >= 1.5,
+          f"current {cur.get('speedup_tick', 0.0):.2f}x (hard floor 1.50x)")
+    b, c = base["speedup_tick"], cur["speedup_tick"]
+    limit = b * (1.0 - REL_TOL) - 0.3
+    check("speedup_tick", c >= limit,
+          f"current {c:.2f}x vs baseline {b:.2f}x (limit {limit:.2f}x)")
+
+
 GATES = {
     "parallel-scaling": gate_parallel,
     "obs-overhead": gate_obs,
     "provenance-overhead": gate_prov,
     "mining-throughput": gate_mining,
     "snapshot-cache": gate_snapshot,
+    "monitor-tick": gate_monitor,
 }
 
 
