@@ -8,7 +8,7 @@
      BENCH_QUOTA        seconds per Bechamel micro-benchmark (default 0.5)
      BENCH_ONLY         comma-separated section names to run (e1..e10, rq2,
                         a1..a3, r1, parallel, mining, snapshot, monitor,
-                        micro);
+                        viz, micro);
                         unset runs everything
      DRIVEPERF_DOMAINS  default analysis parallelism (default: recommended
                         domain count); the scaling suite sweeps 1/2/4/this *)
@@ -684,6 +684,10 @@ let () =
         fun () ->
           section "Monitor tick (cold full / warm delta, replay determinism)";
           Monitor_bench.run ~scale ~seed );
+      ( "viz",
+        fun () ->
+          section "Visual export (trace-event artifacts + flame views)";
+          Viz_bench.run ~scale ~seed corpus );
       ("micro", micro);
     ]
   in

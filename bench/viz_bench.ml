@@ -1,0 +1,163 @@
+(* Visual-export benchmark: throughput and determinism of the dpviz
+   artifact writers over the shared bench corpus.
+
+   Every classified scenario's slow/fast exemplars are rendered into one
+   Chrome trace-event artifact (timed), re-rendered to prove
+   byte-determinism, and checked for the s/f flow-pairing invariant by
+   counting phases in the emitted JSON; the flame pipeline (running +
+   AWG folded stacks, slow-vs-fast differential) runs over the same
+   classes. Writes BENCH_viz.json.
+
+   The committed gate enforces identical_results = true,
+   flow_pairing_ok = true, nonzero slice/flow/path counts and a bounded
+   bytes-per-slice artifact density. *)
+
+module Corpus = Dptrace.Corpus
+module Scenario = Dptrace.Scenario
+module Classify = Dpcore.Classify
+module Awg = Dpcore.Awg
+module Wait_graph = Dpwaitgraph.Wait_graph
+module Trace_export = Dpviz.Trace_export
+module Flame = Dpviz.Flame
+
+let env_int name default =
+  match Sys.getenv_opt name with Some v -> int_of_string v | None -> default
+
+let reps = max 1 (env_int "BENCH_REPS" 3)
+
+let time_best f =
+  ignore (f ());
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (f ()));
+    best := Float.min !best (Unix.gettimeofday () -. t0)
+  done;
+  !best
+
+let count_substr needle hay =
+  let n = String.length needle and l = String.length hay in
+  let rec go i acc =
+    if i + n > l then acc
+    else if String.sub hay i n = needle then go (i + n) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let run ~scale ~seed corpus =
+  Dpobs.enable ~spans:false ~metrics:true ();
+  let drivers = Dpcore.Component.drivers in
+  let classified =
+    List.filter_map
+      (fun name ->
+        match Classify.classify corpus name with
+        | exception Not_found -> None
+        | c -> if Classify.total c > 0 then Some c else None)
+      (Corpus.scenario_names corpus)
+  in
+  let exemplars =
+    List.concat_map Trace_export.exemplars_of_classes classified
+  in
+  let export () = Trace_export.export exemplars in
+  let v name = Dpobs.Metrics.counter_value (Dpobs.Metrics.counter name) in
+  let s0 = v "viz.slices_emitted" and f0 = v "viz.flows_emitted" in
+  let artifact = export () in
+  let slices = v "viz.slices_emitted" - s0
+  and flows = v "viz.flows_emitted" - f0 in
+  let identical_export = String.equal artifact (export ()) in
+  let starts = count_substr "\"ph\":\"s\"" artifact
+  and finishes = count_substr "\"ph\":\"f\"" artifact in
+  let flow_pairing_ok =
+    starts = finishes && starts = flows && flows > 0 in
+  let t_export = time_best export in
+  let bytes = String.length artifact in
+  let mb_s = float_of_int bytes /. 1048576.0 /. t_export in
+  let bytes_per_slice = float_of_int bytes /. float_of_int (max 1 slices) in
+
+  (* Flame pipeline over the same classes: running + AWG folded views
+     and the slow-vs-fast differential of the scenario with the largest
+     slow class. *)
+  let awg_of pairs =
+    Awg.build drivers
+      (List.map
+         (fun ((st : Dptrace.Stream.t), i) ->
+           Wait_graph.build ~index:(Dptrace.Stream.shared_index st) st i)
+         pairs)
+  in
+  let flame_paths = ref 0 in
+  let flame_all () =
+    flame_paths := 0;
+    List.iter
+      (fun (c : Classify.t) ->
+        flame_paths :=
+          !flame_paths
+          + List.length (Flame.folded_running c.Classify.slow)
+          + List.length (Flame.folded_awg (awg_of c.Classify.slow)))
+      classified
+  in
+  let t_flame = time_best flame_all in
+  let richest =
+    List.fold_left
+      (fun best (c : Classify.t) ->
+        match best with
+        | Some (b : Classify.t)
+          when List.length b.Classify.slow >= List.length c.Classify.slow ->
+          best
+        | _ -> Some c)
+      None classified
+  in
+  let diff_paths =
+    match richest with
+    | None -> 0
+    | Some c ->
+      List.length
+        (Flame.diff
+           ~slow:
+             (Flame.normalize
+                (Flame.folded_awg (awg_of c.Classify.slow))
+                ~instances:(List.length c.Classify.slow))
+           ~fast:
+             (Flame.normalize
+                (Flame.folded_awg (awg_of c.Classify.fast))
+                ~instances:(List.length c.Classify.fast)))
+  in
+
+  Printf.printf
+    "viz (%d scenarios, %d exemplars, best of %d):\n\
+    \  trace export %.3fs (%.1f MB/s, %d bytes, %.0f bytes/slice)\n\
+    \  %d slices, %d flow pairs (s=%d f=%d): %s\n\
+    \  flame views %.3fs (%d folded paths, %d differential paths)\n\
+    \  deterministic re-export: %s\n"
+    (List.length classified) (List.length exemplars) reps t_export mb_s
+    bytes bytes_per_slice slices flows starts finishes
+    (if flow_pairing_ok then "paired" else "NO - FLOWS UNPAIRED")
+    t_flame !flame_paths diff_paths
+    (if identical_export then "yes" else "NO - EXPORT DIVERGED");
+
+  let oc = open_out "BENCH_viz.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"viz-export\",\n\
+    \  \"corpus_scale\": %g,\n\
+    \  \"seed\": %d,\n\
+    \  \"reps\": %d,\n\
+    \  \"scenarios\": %d,\n\
+    \  \"exemplars\": %d,\n\
+    \  \"seconds_export\": %.3f,\n\
+    \  \"export_mb_s\": %.1f,\n\
+    \  \"artifact_bytes\": %d,\n\
+    \  \"bytes_per_slice\": %.1f,\n\
+    \  \"slices_emitted\": %d,\n\
+    \  \"flows_emitted\": %d,\n\
+    \  \"seconds_flame\": %.3f,\n\
+    \  \"flame_paths\": %d,\n\
+    \  \"diff_paths\": %d,\n\
+    \  \"flow_pairing_ok\": %b,\n\
+    \  \"identical_results\": %b\n\
+     }\n"
+    scale seed reps (List.length classified) (List.length exemplars)
+    t_export mb_s bytes bytes_per_slice slices flows t_flame !flame_paths
+    diff_paths flow_pairing_ok identical_export;
+  close_out oc;
+  print_endline "wrote BENCH_viz.json";
+  if not (identical_export && flow_pairing_ok) then exit 1

@@ -899,7 +899,7 @@ let witness_cmd =
 
 (* --- explain: provenance-tracked drill-down --- *)
 
-let explain_component ~pool components corpus name =
+let explain_component ~pool ~timeline components corpus name =
   let _impact, prov = Dpcore.Pipeline.run_impact_prov ~pool components corpus in
   match List.assoc_opt name prov.Dpcore.Provenance.by_module with
   | None ->
@@ -916,15 +916,17 @@ let explain_component ~pool components corpus name =
       (fun i wr ->
         Format.printf "@.#%d  %a@." (i + 1) Dpcore.Provenance.pp_wait_record wr;
         match Dpcore.Explorer.resolve_ref corpus wr.Dpcore.Provenance.wr_ref with
-        | Some (st, _inst) ->
+        | Some (st, inst) ->
           print_string
             (Dpcore.Explorer.render_event_window st
-               ~event_id:wr.Dpcore.Provenance.wr_event)
+               ~event_id:wr.Dpcore.Provenance.wr_event);
+          if timeline then
+            print_string (Dptrace.Timeline.render_instance st inst)
         | None -> ())
       records;
     0
 
-let explain_pattern ~pool components corpus scenario rank limit =
+let explain_pattern ~pool ~timeline components corpus scenario rank limit =
   let r = Dpcore.Pipeline.run_scenario ~pool components corpus scenario in
   let patterns = r.Dpcore.Pipeline.mining.Dpcore.Mining.patterns in
   match List.nth_opt patterns (rank - 1) with
@@ -981,20 +983,24 @@ let explain_pattern ~pool components corpus scenario rank limit =
         (fun w ->
           print_newline ();
           print_string (Dpcore.Explorer.render w);
-          print_string (Dpcore.Explorer.render_chain_events w))
+          print_string (Dpcore.Explorer.render_chain_events w);
+          if timeline then
+            print_string
+              (Dptrace.Timeline.render_instance w.Dpcore.Explorer.stream
+                 w.Dpcore.Explorer.instance))
         ws;
     0
 
-let explain corpus scenario rank component limit j mode obs =
+let explain corpus scenario rank component limit timeline j mode obs =
   with_obs obs @@ fun () ->
   Dpcore.Provenance.enable ();
   let components = Dpcore.Component.drivers in
   with_cli_pool j @@ fun pool ->
   let corpus = read_corpus ~pool ~mode corpus in
   match (component, scenario) with
-  | Some name, _ -> explain_component ~pool components corpus name
+  | Some name, _ -> explain_component ~pool ~timeline components corpus name
   | None, Some scenario ->
-    explain_pattern ~pool components corpus scenario rank limit
+    explain_pattern ~pool ~timeline components corpus scenario rank limit
   | None, None ->
     prerr_endline
       "explain: give a SCENARIO (pattern drill-down) or --component MODULE";
@@ -1029,6 +1035,14 @@ let explain_cmd =
       value & opt int 2
       & info [ "limit" ] ~docv:"N" ~doc:"Concrete witness chains to print.")
   in
+  let timeline =
+    Arg.(
+      value & flag
+      & info [ "timeline" ]
+          ~doc:
+            "Also draw each witness instance's window as the Figure 1 \
+             ASCII thread timeline.")
+  in
   Cmd.v
     (Cmd.info "explain"
        ~doc:
@@ -1036,7 +1050,7 @@ let explain_cmd =
           (pattern -> AWG path -> witness instances -> event windows)")
     Term.(
       const explain $ corpus_arg $ scenario $ rank $ component $ limit
-      $ domains_arg $ mode_arg $ obs_opts_term)
+      $ timeline $ domains_arg $ mode_arg $ obs_opts_term)
 
 (* --- stats --- *)
 
@@ -1056,6 +1070,170 @@ let stats_cmd =
   Cmd.v
     (Cmd.info "stats" ~doc:"Descriptive statistics of a corpus")
     Term.(const stats $ corpus_arg $ mode_arg $ obs_opts_term)
+
+(* --- export-trace / flame: visual observability --- *)
+
+let write_text path text =
+  let oc = open_out_bin path in
+  output_string oc text;
+  close_out oc
+
+let export_trace corpus scenario slow fast rank out pats j mode obs =
+  with_obs obs @@ fun () ->
+  let components = components_of pats in
+  with_cli_pool j @@ fun pool ->
+  let corpus = read_corpus ~pool ~mode corpus in
+  let exemplars =
+    match rank with
+    | None -> (
+      match Dpcore.Classify.classify corpus scenario with
+      | exception Not_found ->
+        Printf.eprintf "no spec for scenario %s in the corpus\n" scenario;
+        []
+      | c -> Dpviz.Trace_export.exemplars_of_classes ~slow ~fast c)
+    | Some rank -> (
+      (* Provenance-resolved exemplars: the instances that realise the
+         ranked contrast pattern, their matched chains as markers. *)
+      Dpcore.Provenance.enable ();
+      let r = Dpcore.Pipeline.run_scenario ~pool components corpus scenario in
+      let patterns = r.Dpcore.Pipeline.mining.Dpcore.Mining.patterns in
+      match List.nth_opt patterns (rank - 1) with
+      | None ->
+        Printf.eprintf "only %d patterns mined for %s\n"
+          (List.length patterns) scenario;
+        []
+      | Some pattern ->
+        Dpviz.Trace_export.exemplars_of_witnesses
+          (Dpcore.Explorer.witnesses ~limit:slow components corpus ~scenario
+             ~pattern ()))
+  in
+  if exemplars = [] then begin
+    Printf.eprintf "nothing to export for scenario %s\n" scenario;
+    1
+  end
+  else begin
+    write_text out (Dpviz.Trace_export.export ~components exemplars);
+    Printf.printf
+      "wrote %s (%d exemplar instance(s); open in https://ui.perfetto.dev \
+       or chrome://tracing)\n"
+      out (List.length exemplars);
+    0
+  end
+
+let export_trace_cmd =
+  let scenario =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SCENARIO" ~doc:"Scenario whose instances to export.")
+  in
+  let slow =
+    Arg.(
+      value & opt int 3
+      & info [ "slow" ] ~docv:"N"
+          ~doc:
+            "Slowest instances to export (with $(b,--rank): witness \
+             instances of the pattern).")
+  in
+  let fast =
+    Arg.(
+      value & opt int 3
+      & info [ "fast" ] ~docv:"N" ~doc:"Fastest instances to export.")
+  in
+  let rank =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "rank"; "pattern" ] ~docv:"N"
+          ~doc:
+            "Export the witness instances of the N-th ranked contrast \
+             pattern instead of the duration exemplars, with the matched \
+             chain flagged by markers.")
+  in
+  let out =
+    Arg.(
+      value & opt string "trace.json"
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Output file (Chrome trace-event JSON).")
+  in
+  Cmd.v
+    (Cmd.info "export-trace"
+       ~doc:
+         "Export scenario instances as a Perfetto-loadable trace (one \
+          track per thread, wait-graph edges as flow arrows, \
+          concurrent-waiters counter, instance and pattern markers)")
+    Term.(
+      const export_trace $ corpus_arg $ scenario $ slow $ fast $ rank $ out
+      $ components_arg $ domains_arg $ mode_arg $ obs_opts_term)
+
+let flame corpus scenario out_dir slow fast top pats j mode obs =
+  with_obs obs @@ fun () ->
+  let components = components_of pats in
+  with_cli_pool j @@ fun _pool ->
+  let corpus = read_corpus ~mode corpus in
+  match Dpcore.Classify.classify corpus scenario with
+  | exception Not_found ->
+    Printf.eprintf "no spec for scenario %s in the corpus\n" scenario;
+    1
+  | c ->
+    let b = Dpviz.Bundle.write ~components ~slow ~fast ~dir:out_dir c in
+    List.iter (Printf.printf "wrote %s\n") b.Dpviz.Bundle.files;
+    let nf, _, ns = Dpcore.Classify.counts c in
+    Printf.printf
+      "\nslow-vs-fast differential (%d slow vs %d fast instance(s)), \
+       per-instance AWG cost growth:\n"
+      ns nf;
+    if b.Dpviz.Bundle.diff = [] then
+      print_endline "  (no positive slow-minus-fast path)"
+    else
+      List.iteri
+        (fun i (path, delta) ->
+          if i < top then
+            Printf.printf "  #%d  +%dus  %s\n" (i + 1) delta
+              (String.concat ";" path))
+        b.Dpviz.Bundle.diff;
+    0
+
+let flame_cmd =
+  let scenario =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SCENARIO" ~doc:"Scenario to profile.")
+  in
+  let out_dir =
+    Arg.(
+      value & opt string "views"
+      & info [ "out-dir"; "o" ] ~docv:"DIR"
+          ~doc:"Directory for the emitted artifacts (created if missing).")
+  in
+  let slow =
+    Arg.(
+      value & opt int 3
+      & info [ "slow" ] ~docv:"N"
+          ~doc:"Slow exemplars in the bundled Perfetto trace.")
+  in
+  let fast =
+    Arg.(
+      value & opt int 3
+      & info [ "fast" ] ~docv:"N"
+          ~doc:"Fast exemplars in the bundled Perfetto trace.")
+  in
+  let top =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N"
+          ~doc:"Differential paths to print (the files keep all).")
+  in
+  Cmd.v
+    (Cmd.info "flame"
+       ~doc:
+         "Emit folded-stacks and speedscope flame views per contrast \
+          class, plus the slow-vs-fast differential that attributes \
+          IA_wait growth to its signature paths")
+    Term.(
+      const flame $ corpus_arg $ scenario $ out_dir $ slow $ fast $ top
+      $ components_arg $ domains_arg $ mode_arg $ obs_opts_term)
 
 (* --- timeline --- *)
 
@@ -1371,7 +1549,7 @@ let cache_cmd =
 
 let monitor dir replay listen interval max_ticks window top_patterns
     replicates seed min_support threshold lag_ms cache alert_log metrics_out
-    pats j mode =
+    view_dir pats j mode =
   let components = components_of pats in
   let rules =
     [
@@ -1395,6 +1573,7 @@ let monitor dir replay listen interval max_ticks window top_patterns
       cache_dir = cache;
       alert_log;
       metrics_out;
+      view_dir;
     }
   in
   match replay with
@@ -1530,14 +1709,25 @@ let monitor_cmd =
             "Rewrite FILE after every tick with the full OpenMetrics \
              text exposition (same body $(b,--listen) serves).")
   in
+  let view_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "view-dir" ] ~docv:"DIR"
+          ~doc:
+            "Export a view bundle (Perfetto trace of slow/fast \
+             exemplars + differential flame views) per alerted scenario \
+             under DIR/tick-N-SCENARIO/; alerts then carry the bundle \
+             path in their $(b,view) field.")
+  in
   Cmd.v
     (Cmd.info "monitor"
        ~doc:"Continuously watch a corpus directory and alert on drift")
     Term.(
       const monitor $ dir $ replay $ listen $ interval $ max_ticks $ window
       $ top_patterns $ replicates $ seed $ min_support $ threshold $ lag_ms
-      $ cache_arg $ alert_log $ metrics_out $ components_arg $ domains_arg
-      $ mode_arg)
+      $ cache_arg $ alert_log $ metrics_out $ view_dir $ components_arg
+      $ domains_arg $ mode_arg)
 
 let main_cmd =
   let doc = "trace-based performance comprehension for device drivers" in
@@ -1561,6 +1751,8 @@ let main_cmd =
       explain_cmd;
       analyze_cmd;
       timeline_cmd;
+      export_trace_cmd;
+      flame_cmd;
       cache_cmd;
       monitor_cmd;
     ]

@@ -23,6 +23,7 @@ type config = {
   cache_dir : string option;
   alert_log : string option;
   metrics_out : string option;
+  view_dir : string option;
 }
 
 let default_config =
@@ -38,6 +39,7 @@ let default_config =
     cache_dir = None;
     alert_log = None;
     metrics_out = None;
+    view_dir = None;
   }
 
 type lfile = {
@@ -432,8 +434,8 @@ let tick t =
   (match t.last_arrival_ms with
   | Some arrived -> M.set t.m_lag (max 0 (now_ms t - arrived))
   | None -> ());
-  let relative =
-    if not changed then []
+  let relative, views =
+    if not changed then ([], [])
     else begin
       let n_files, corpus = window_corpus t in
       let snap = snapshot_for t corpus in
@@ -470,7 +472,35 @@ let tick t =
       in
       t.baseline <-
         Some { b_corpus = corpus; b_patterns = patterns; b_ci = None };
-      out
+      (* Every alerted scenario gets an openable view bundle next to the
+         JSONL log: Perfetto trace of the slow/fast exemplars plus the
+         differential flame views of the offending window. *)
+      let views =
+        match t.config.view_dir with
+        | None -> []
+        | Some vdir ->
+          List.filter_map (fun (_, s, _, _) -> s) out
+          |> List.sort_uniq compare
+          |> List.filter_map (fun scn ->
+                 match Dpcore.Classify.classify corpus scn with
+                 | exception Not_found -> None
+                 | c ->
+                   let dir =
+                     Filename.concat vdir
+                       (Printf.sprintf "tick-%d-%s" t.tick_count
+                          (String.map
+                             (function '/' | '\\' -> '_' | ch -> ch)
+                             scn))
+                   in
+                   let b =
+                     Dpviz.Bundle.write ~components:t.config.components
+                       ~dir c
+                   in
+                   Dpobs.Log.info "monitor: view bundle %s (%d files)" dir
+                     (List.length b.Dpviz.Bundle.files);
+                   Some (scn, dir))
+      in
+      (out, views)
     end
   in
   let alerts =
@@ -483,6 +513,8 @@ let tick t =
           a_scenario = scenario;
           a_message = message;
           a_data = data;
+          a_view =
+            Option.bind scenario (fun s -> List.assoc_opt s views);
         })
       (absolute @ relative)
   in

@@ -54,6 +54,11 @@ type config = {
   alert_log : string option;  (** JSONL alert sink. *)
   metrics_out : string option;
       (** OpenMetrics exposition, rewritten after every tick. *)
+  view_dir : string option;
+      (** When set, every tick that raises scenario-tagged alerts also
+          writes a {!Dpviz.Bundle} view bundle per alerted scenario
+          under [view_dir/tick-N-SCENARIO/], and those alerts carry the
+          directory in their [view] field. *)
 }
 
 val default_config : config

@@ -34,18 +34,22 @@ type alert = {
   a_scenario : string option;
   a_message : string;
   a_data : Dputil.Jsonw.t;
+  a_view : string option;
 }
 
 module J = Dputil.Jsonw
 
 let alert_json a =
   J.Obj
-    [
-      ("tick", J.int a.a_tick);
-      ("time_ms", J.int a.a_time_ms);
-      ("rule", J.str a.a_rule);
-      ( "scenario",
-        match a.a_scenario with None -> J.Null | Some s -> J.str s );
-      ("message", J.str a.a_message);
-      ("data", a.a_data);
-    ]
+    ([
+       ("tick", J.int a.a_tick);
+       ("time_ms", J.int a.a_time_ms);
+       ("rule", J.str a.a_rule);
+       ( "scenario",
+         match a.a_scenario with None -> J.Null | Some s -> J.str s );
+       ("message", J.str a.a_message);
+       ("data", a.a_data);
+     ]
+    (* Appended only when present, so logs written without --view-dir
+       keep their historical bytes. *)
+    @ match a.a_view with None -> [] | Some v -> [ ("view", J.str v) ])

@@ -50,8 +50,14 @@ type alert = {
       (** Machine-readable evidence; pattern alerts embed the
           {!Dpcore.Diff.json_entry} of the offending entry, so the alert
           log and [driveperf diff --json] share one schema. *)
+  a_view : string option;
+      (** Directory of the view bundle ({!Dpviz.Bundle}) exported for
+          this alert's scenario, when the monitor runs with
+          [--view-dir]. *)
 }
 
 val alert_json : alert -> Dputil.Jsonw.t
 (** [{"tick":..,"time_ms":..,"rule":..,"scenario":..,"message":..,
-    "data":..}] — field order fixed, for byte-stable JSONL logs. *)
+    "data":..}] — field order fixed, for byte-stable JSONL logs. A
+    trailing ["view"] field appears only when [a_view] is set, so logs
+    written without [--view-dir] keep their historical bytes. *)

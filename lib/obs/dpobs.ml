@@ -440,9 +440,22 @@ module Span = struct
     |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
 end
 
-(* --- export --- *)
+(* --- shared Chrome trace-event writer --- *)
 
-module Export = struct
+module Trace_writer = struct
+  (* One incremental writer behind every Chrome-trace artifact the tool
+     emits — the engine's own spans (self-telemetry, below) and the
+     corpus exports of dpviz. Field order is fixed per record kind and
+     the timestamp rendering is a pure function of the input, so equal
+     event sequences always serialise to equal bytes. *)
+
+  type t = { buf : Buffer.t; mutable written : int }
+
+  let create ?(initial_size = 65536) () =
+    let buf = Buffer.create initial_size in
+    Buffer.add_string buf "{\"traceEvents\":[";
+    { buf; written = 0 }
+
   let add_json_string buf s =
     Buffer.add_char buf '"';
     String.iter
@@ -466,50 +479,89 @@ module Export = struct
         if i > 0 then Buffer.add_char buf ',';
         add_json_string buf k;
         Buffer.add_char buf ':';
-        add_json_string buf v)
+        Buffer.add_string buf (Dputil.Jsonw.to_string ~minify:true v))
       args;
     Buffer.add_char buf '}'
+
+  let sep t =
+    if t.written > 0 then Buffer.add_char t.buf ',';
+    t.written <- t.written + 1
+
+  (* Metadata records keep their historical exact shape (integral ts). *)
+  let meta t ~pid ~tid ~kind name =
+    sep t;
+    Buffer.add_string t.buf
+      (Printf.sprintf "{\"name\":\"%s\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\
+                       \"ts\":0,\"args\":{\"name\":"
+         kind pid tid);
+    add_json_string t.buf name;
+    Buffer.add_string t.buf "}}"
+
+  let process_name t ~pid name = meta t ~pid ~tid:0 ~kind:"process_name" name
+  let thread_name t ~pid ~tid name = meta t ~pid ~tid ~kind:"thread_name" name
+
+  let event t ?cat ?(args = []) ?id ?(bind_enclosing = false) ?dur_us ~ph
+      ~pid ~tid ~ts_us name =
+    sep t;
+    let buf = t.buf in
+    Buffer.add_string buf "{\"name\":";
+    add_json_string buf name;
+    (match cat with
+    | Some c ->
+      Buffer.add_string buf ",\"cat\":";
+      add_json_string buf c
+    | None -> ());
+    Buffer.add_string buf
+      (Printf.sprintf ",\"ph\":\"%c\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f" ph
+         pid tid ts_us);
+    (match dur_us with
+    | Some d -> Buffer.add_string buf (Printf.sprintf ",\"dur\":%.3f" d)
+    | None -> ());
+    (match id with
+    | Some i -> Buffer.add_string buf (Printf.sprintf ",\"id\":%d" i)
+    | None -> ());
+    if bind_enclosing then Buffer.add_string buf ",\"bp\":\"e\"";
+    (match args with
+    | [] -> ()
+    | args ->
+      Buffer.add_string buf ",\"args\":";
+      add_args buf args);
+    Buffer.add_char buf '}'
+
+  let events_written t = t.written
+  let contents t = Buffer.contents t.buf ^ "],\"displayTimeUnit\":\"ms\"}"
+end
+
+(* --- export --- *)
+
+module Export = struct
+  let add_json_string = Trace_writer.add_json_string
 
   let chrome_trace () =
     let events = Span.events () in
     let t0 = match events with [] -> 0L | e :: _ -> e.Span.ts_ns in
-    let buf = Buffer.create 65536 in
-    Buffer.add_string buf "{\"traceEvents\":[";
-    Buffer.add_string buf
-      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"ts\":0,\
-       \"args\":{\"name\":\"driveperf\"}}";
+    let w = Trace_writer.create () in
+    Trace_writer.process_name w ~pid:1 "driveperf";
     let tids = Hashtbl.create 8 in
     List.iter
       (fun (e : Span.event) ->
         if not (Hashtbl.mem tids e.Span.tid) then begin
           Hashtbl.replace tids e.Span.tid ();
-          Buffer.add_string buf
-            (Printf.sprintf
-               ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\
-                \"ts\":0,\"args\":{\"name\":\"domain %d\"}}"
-               e.Span.tid e.Span.tid)
+          Trace_writer.thread_name w ~pid:1 ~tid:e.Span.tid
+            (Printf.sprintf "domain %d" e.Span.tid)
         end)
       events;
     List.iter
       (fun (e : Span.event) ->
-        Buffer.add_string buf ",{\"name\":";
-        add_json_string buf e.Span.name;
-        Buffer.add_string buf
-          (Printf.sprintf
-             ",\"cat\":\"driveperf\",\"ph\":\"%s\",\"pid\":1,\"tid\":%d,\
-              \"ts\":%.3f"
-             (match e.Span.phase with Span.B -> "B" | Span.E -> "E")
-             e.Span.tid
-             (Int64.to_float (Int64.sub e.Span.ts_ns t0) /. 1000.0));
-        (match e.Span.args with
-        | [] -> ()
-        | args ->
-          Buffer.add_string buf ",\"args\":";
-          add_args buf args);
-        Buffer.add_char buf '}')
+        Trace_writer.event w ~cat:"driveperf"
+          ~args:
+            (List.map (fun (k, v) -> (k, Dputil.Jsonw.Str v)) e.Span.args)
+          ~ph:(match e.Span.phase with Span.B -> 'B' | Span.E -> 'E')
+          ~pid:1 ~tid:e.Span.tid
+          ~ts_us:(Int64.to_float (Int64.sub e.Span.ts_ns t0) /. 1000.0)
+          e.Span.name)
       events;
-    Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
-    Buffer.contents buf
+    Trace_writer.contents w
 
   let write_file path text =
     let oc = open_out path in

@@ -171,6 +171,56 @@ module Span : sig
       required, as for {!events}. *)
 end
 
+(** {1 Chrome trace-event writer} *)
+
+module Trace_writer : sig
+  (** Incremental, deterministic writer for the Chrome trace-event JSON
+      format (the profile Perfetto and chrome://tracing load). One
+      writer backs every trace artifact the tool emits — the engine's
+      own spans ({!Export.chrome_trace}) and the corpus exports of
+      [dpviz] — so escaping, µs timestamp rendering and metadata-record
+      shape stay in one place. Field order is fixed per record kind and
+      serialisation is a pure function of the calls made, so equal
+      event sequences produce byte-equal artifacts. *)
+
+  type t
+
+  val create : ?initial_size:int -> unit -> t
+  (** A fresh writer with the [{"traceEvents":[] envelope opened. *)
+
+  val process_name : t -> pid:int -> string -> unit
+  (** Emit a [ph:"M"] [process_name] metadata record. *)
+
+  val thread_name : t -> pid:int -> tid:int -> string -> unit
+  (** Emit a [ph:"M"] [thread_name] metadata record. *)
+
+  val event :
+    t ->
+    ?cat:string ->
+    ?args:(string * Dputil.Jsonw.t) list ->
+    ?id:int ->
+    ?bind_enclosing:bool ->
+    ?dur_us:float ->
+    ph:char ->
+    pid:int ->
+    tid:int ->
+    ts_us:float ->
+    string ->
+    unit
+  (** Emit one trace event of phase [ph] ('B'/'E' spans, 'X' complete
+      slices with [dur_us], 'i' instants, 's'/'f' flows with [id],
+      'C' counters with [args] as series). [ts_us] renders with fixed
+      3-decimal precision. [bind_enclosing] adds [bp:"e"] (bind a flow
+      end to the enclosing slice). *)
+
+  val events_written : t -> int
+  (** Number of records emitted so far (metadata included). *)
+
+  val contents : t -> string
+  (** The complete JSON document. Non-destructive: the writer may keep
+      appending and [contents] may be taken again. *)
+end
+
 (** {1 Export} *)
 
 module Export : sig

@@ -81,7 +81,10 @@ let render ?(width = 72) ?from_ts ?to_ts (st : Stream.t) =
     Buffer.contents buf
   end
 
-let render_instance ?width (st : Stream.t) (i : Scenario.instance) =
+let instance_window (i : Scenario.instance) =
   let margin = max 1 ((i.Scenario.t1 - i.Scenario.t0) / 20) in
-  render ?width ~from_ts:(max 0 (i.Scenario.t0 - margin))
-    ~to_ts:(i.Scenario.t1 + margin) st
+  (max 0 (i.Scenario.t0 - margin), i.Scenario.t1 + margin)
+
+let render_instance ?width (st : Stream.t) (i : Scenario.instance) =
+  let from_ts, to_ts = instance_window i in
+  render ?width ~from_ts ~to_ts st

@@ -25,6 +25,12 @@ val render :
     window are omitted; rows are ordered by first activity. Returns a
     ready-to-print block including the legend and a time axis. *)
 
+val instance_window : Scenario.instance -> Dputil.Time.t * Dputil.Time.t
+(** [(from_ts, to_ts)]: the instance's [t0..t1] padded by a 5% margin on
+    each side (at least 1 µs, clipped at 0). The window every
+    instance-centred view draws — the ASCII render below and the
+    Perfetto export in [dpviz]. *)
+
 val render_instance : ?width:int -> Stream.t -> Scenario.instance -> string
 (** The instance's window with 5% margins — the Figure 1 view of one
     scenario execution. *)

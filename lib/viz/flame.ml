@@ -1,0 +1,155 @@
+open Dptrace
+
+type folded = (string list * int) list
+
+(* The folded format separates frames with ';' and the weight with a
+   space, so neither may appear inside a frame name. *)
+let sanitize s =
+  String.map (function ' ' | ';' -> '_' | c -> c) s
+
+let frame_of_sig s = sanitize (Signature.name s)
+
+(* Accumulate (path, weight) pairs into a canonical folded list: weights
+   summed per path, entries sorted by path, zero-weight entries dropped. *)
+module Acc = struct
+  type t = (string, string list * int ref) Hashtbl.t
+
+  let create () : t = Hashtbl.create 64
+
+  let add (t : t) path weight =
+    if weight > 0 then begin
+      let key = String.concat ";" path in
+      match Hashtbl.find_opt t key with
+      | Some (_, r) -> r := !r + weight
+      | None -> Hashtbl.replace t key (path, ref weight)
+    end
+
+  let to_folded (t : t) : folded =
+    Hashtbl.fold (fun key (path, r) acc -> (key, (path, !r)) :: acc) t []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map snd
+end
+
+let folded_running pairs =
+  let acc = Acc.create () in
+  List.iter
+    (fun ((st : Stream.t), inst) ->
+      let g = Dpwaitgraph.Wait_graph.build ~index:(Stream.shared_index st) st inst in
+      Dpwaitgraph.Wait_graph.iter_nodes g (fun n ->
+          let e = n.Dpwaitgraph.Wait_graph.event in
+          if Event.is_running e then
+            let path =
+              Callstack.frames e.Event.stack
+              |> Array.to_list |> List.rev_map frame_of_sig
+            in
+            let path = if path = [] then [ "<none>" ] else path in
+            Acc.add acc path e.Event.cost))
+    pairs;
+  Acc.to_folded acc
+
+let frame_of_status = function
+  | Dpcore.Awg.Waiting { wait_sig; unwait_sig } ->
+    Printf.sprintf "wait:%s<-%s" (frame_of_sig wait_sig)
+      (frame_of_sig unwait_sig)
+  | Dpcore.Awg.Running s -> "run:" ^ frame_of_sig s
+  | Dpcore.Awg.Hw s -> "hw:" ^ frame_of_sig s
+
+let folded_awg (awg : Dpcore.Awg.t) =
+  let acc = Acc.create () in
+  let rec walk rev_path (n : Dpcore.Awg.node) =
+    let rev_path = frame_of_status n.Dpcore.Awg.status :: rev_path in
+    let kids = Dpcore.Awg.sorted_children n in
+    let kids_cost =
+      Array.fold_left (fun s k -> s + k.Dpcore.Awg.cost) 0 kids
+    in
+    (* Self time: the node's aggregated cost not accounted to any child
+       (children happen inside their parent wait's interval). *)
+    Acc.add acc (List.rev rev_path) (max 0 (n.Dpcore.Awg.cost - kids_cost));
+    Array.iter (walk rev_path) kids
+  in
+  List.iter (walk []) (Dpcore.Awg.roots awg);
+  Acc.to_folded acc
+
+let normalize (f : folded) ~instances =
+  if instances <= 1 then f
+  else
+    List.filter_map
+      (fun (path, w) ->
+        let w = (w + (instances / 2)) / instances in
+        if w > 0 then Some (path, w) else None)
+      f
+
+let diff ~(slow : folded) ~(fast : folded) : folded =
+  let acc = Hashtbl.create 64 in
+  let bump sign (path, w) =
+    let key = String.concat ";" path in
+    match Hashtbl.find_opt acc key with
+    | Some (_, r) -> r := !r + (sign * w)
+    | None -> Hashtbl.replace acc key (path, ref (sign * w))
+  in
+  List.iter (bump 1) slow;
+  List.iter (bump (-1)) fast;
+  Hashtbl.fold (fun key (path, r) l -> (key, (path, !r)) :: l) acc []
+  |> List.filter (fun (_, (_, d)) -> d > 0)
+  |> List.sort (fun (ka, (_, da)) (kb, (_, db)) ->
+         let c = compare db da in
+         if c <> 0 then c else compare ka kb)
+  |> List.map snd
+
+let to_folded (f : folded) =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (path, w) ->
+      Buffer.add_string buf (String.concat ";" path);
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (string_of_int w);
+      Buffer.add_char buf '\n')
+    f;
+  Buffer.contents buf
+
+let to_speedscope ~name (f : folded) =
+  let module J = Dputil.Jsonw in
+  let frames = Hashtbl.create 64 in
+  let frame_order = ref [] in
+  let frame_idx fr =
+    match Hashtbl.find_opt frames fr with
+    | Some i -> i
+    | None ->
+      let i = Hashtbl.length frames in
+      Hashtbl.replace frames fr i;
+      frame_order := fr :: !frame_order;
+      i
+  in
+  let samples =
+    List.map (fun (path, _) -> J.Arr (List.map (fun fr -> J.Int (frame_idx fr)) path)) f
+  in
+  let weights = List.map (fun (_, w) -> J.Int w) f in
+  let total = List.fold_left (fun s (_, w) -> s + w) 0 f in
+  J.Obj
+    [
+      ("$schema", J.Str "https://www.speedscope.app/file-format-schema.json");
+      ( "shared",
+        J.Obj
+          [
+            ( "frames",
+              J.Arr
+                (List.rev_map
+                   (fun fr -> J.Obj [ ("name", J.Str fr) ])
+                   !frame_order) );
+          ] );
+      ( "profiles",
+        J.Arr
+          [
+            J.Obj
+              [
+                ("type", J.Str "sampled");
+                ("name", J.Str name);
+                ("unit", J.Str "microseconds");
+                ("startValue", J.Int 0);
+                ("endValue", J.Int total);
+                ("samples", J.Arr samples);
+                ("weights", J.Arr weights);
+              ];
+          ] );
+      ("exporter", J.Str "driveperf");
+    ]

@@ -1,0 +1,46 @@
+(** Flame views of analyzed corpora.
+
+    Two profiles, each emitted as Brendan-Gregg folded stacks (pipe into
+    [flamegraph.pl], or drag into speedscope's "import") and as
+    speedscope JSON:
+
+    - {e running time by callstack}: distinct running nodes of each
+      instance's Wait Graph, stacks root-first, weights in µs;
+    - {e AWG cost by signature path}: every aggregated-wait-graph node's
+      self cost under its root-to-node path of
+      [wait:SIG<-SIG] / [run:SIG] / [hw:SIG] frames.
+
+    The slow-vs-fast {!diff} subtracts the fast class's (per-instance
+    normalized) profile from the slow one — the surviving positive
+    deltas name the signatures the extra IA_wait accumulated under,
+    which is how the [--cores] run-queue regression becomes one
+    dominant [wait:kernel!CpuQueue<-...] tower. *)
+
+type folded = (string list * int) list
+(** Root-first frame paths with µs weights; canonical form is path-sorted
+    with strictly positive weights, one entry per path. *)
+
+val folded_running :
+  (Dptrace.Stream.t * Dptrace.Scenario.instance) list -> folded
+(** Running time by callstack over the given instances' Wait Graphs
+    (distinct nodes only, like the impact analysis). *)
+
+val folded_awg : Dpcore.Awg.t -> folded
+(** AWG self cost by signature path: each node contributes
+    [max 0 (cost - Σ children cost)] under its path. *)
+
+val normalize : folded -> instances:int -> folded
+(** Per-instance average (rounded); entries rounding to 0 drop out.
+    Identity when [instances <= 1]. *)
+
+val diff : slow:folded -> fast:folded -> folded
+(** Path-wise [slow - fast], positive deltas only, largest first (ties
+    path-sorted). Inputs should be normalized per instance first. *)
+
+val to_folded : folded -> string
+(** One [frame;frame;frame weight] line per entry, in list order. *)
+
+val to_speedscope : name:string -> folded -> Dputil.Jsonw.t
+(** A speedscope "sampled" profile: each folded entry is one sample with
+    its weight; [endValue] = Σ weights. Serialise with
+    {!Dputil.Jsonw.to_string} (byte-deterministic). *)

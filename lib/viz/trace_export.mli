@@ -1,0 +1,37 @@
+(** Corpus → Chrome trace-event JSON (Perfetto / chrome://tracing).
+
+    Where {!Dptrace.Timeline} draws the Figure 1 snapshot as ASCII, this
+    module renders the same instance windows as a standard trace-event
+    artifact: one process per exemplar instance, one track per thread,
+    running/wait/hardware slices named from component signatures, flow
+    arrows from each unwait to the wait it ended (the Wait-Graph edges),
+    a concurrent-waiters counter track, instance-boundary slices and
+    pattern-match markers. Built on {!Dpobs.Trace_writer}, so equal
+    inputs export byte-equal artifacts. *)
+
+type exemplar = {
+  x_stream : Dptrace.Stream.t;
+  x_instance : Dptrace.Scenario.instance;
+  x_label : string;  (** Process name in the artifact. *)
+  x_marks : Dptrace.Event.t list;
+      (** Events to flag with [ph:"i"] markers (e.g. a witness chain). *)
+}
+
+val exemplars_of_classes :
+  ?slow:int -> ?fast:int -> Dpcore.Classify.t -> exemplar list
+(** The [slow] slowest and [fast] fastest instances (default 3 each) of
+    a classified scenario, slowest first then fastest first — the
+    contrast pair an analyst opens side by side. Deterministic: duration
+    ties break on (stream id, t0, tid). *)
+
+val exemplars_of_witnesses : Dpcore.Explorer.witness list -> exemplar list
+(** Provenance-resolved witnesses (from [driveperf explain]'s pattern
+    drill-down), each carrying its matched chain as markers. *)
+
+val export : ?components:Dpcore.Component.t -> exemplar list -> string
+(** The complete JSON document. [components] (default
+    {!Dpcore.Component.drivers}) names slices by the paper's per-event
+    signature, falling back to the topmost frame. Flow ids are numbered
+    globally in emission order, so every [ph:"s"] id pairs with exactly
+    one [ph:"f"]. Bumps the [viz.slices_emitted] / [viz.flows_emitted]
+    counters. *)

@@ -124,6 +124,27 @@ def gate_monitor(base, cur):
           f"current {c:.2f}x vs baseline {b:.2f}x (limit {limit:.2f}x)")
 
 
+def gate_viz(base, cur):
+    check("identical_results", cur.get("identical_results") is True,
+          f"current {cur.get('identical_results')}")
+    check("flow_pairing_ok", cur.get("flow_pairing_ok") is True,
+          f"current {cur.get('flow_pairing_ok')}")
+    # Emission counts are deterministic functions of the bench corpus,
+    # portable across runners; zero means a writer silently dropped work.
+    check("slices_emitted>0", cur.get("slices_emitted", 0) > 0,
+          f"current {cur.get('slices_emitted', 0)}")
+    check("flows_emitted>0", cur.get("flows_emitted", 0) > 0,
+          f"current {cur.get('flows_emitted', 0)}")
+    check("flame_paths>0", cur.get("flame_paths", 0) > 0,
+          f"current {cur.get('flame_paths', 0)}")
+    check("diff_paths>0", cur.get("diff_paths", 0) > 0,
+          f"current {cur.get('diff_paths', 0)}")
+    # Artifact density is a byte count per slice — machine-portable; a
+    # blow-up means the writer started emitting redundant JSON.
+    bounded_above("bytes_per_slice",
+                  base["bytes_per_slice"], cur["bytes_per_slice"], 50.0)
+
+
 GATES = {
     "parallel-scaling": gate_parallel,
     "obs-overhead": gate_obs,
@@ -131,6 +152,7 @@ GATES = {
     "mining-throughput": gate_mining,
     "snapshot-cache": gate_snapshot,
     "monitor-tick": gate_monitor,
+    "viz-export": gate_viz,
 }
 
 
