@@ -65,7 +65,7 @@ let cached_workload pool corpus =
 let doc_string (impact, impact_prov, modules, named) =
   Dputil.Jsonw.to_string
     (Dpcore.Report.Json.document ~impact ~impact_prov ~modules
-       ~scenarios:named)
+       ~scenarios:named ())
 
 let run ~scale ~seed (corpus : Corpus.t) =
   let domains = max 2 (Dppar.Pool.default_domains ()) in

@@ -19,6 +19,7 @@
      baseline    run the Section 6 baseline analyses
      analyze     one-shot full analyst report
      monitor     watch a corpus directory, alert on drift, export metrics
+     faults      describe / replay a deterministic fault-injection plan
 
    Corpus files are auto-detected by content (text v1 / binary v1 /
    framed v2); extensions select the *output* format: .dpb binary v1,
@@ -44,7 +45,7 @@ let format_of_out path =
 
 let file_size path =
   let ic = open_in_bin path in
-  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
   in_channel_length ic
 
 (* Input volume by detected format, for `driveperf stats` and the
@@ -149,6 +150,49 @@ let mode_arg =
            on stderr." )
   in
   Arg.(value & vflag `Strict [ strict; recover ])
+
+(* --- deterministic fault injection (--fault-plan / DRIVEPERF_FAULTS) --- *)
+
+let fault_arg =
+  let doc =
+    "Deterministic fault injection: arm the plan $(docv) (SEED:SPEC, \
+     where SPEC is a preset — io-flaky, torn-writes, slow-disk — or \
+     comma-separated site=kind@prob[!attempts] clauses) around this \
+     command. Injected faults are retried with bounded backoff; streams \
+     whose retry budget exhausts are quarantined and reported, not \
+     fatal. The DRIVEPERF_FAULTS environment variable sets the same \
+     knob; this flag wins. See $(b,driveperf faults) for the site and \
+     kind vocabulary."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "fault-plan" ] ~docv:"PLAN" ~doc)
+
+(* Arm the requested plan around a command body, disarm after. Without a
+   plan the fault layer stays a single disarmed atomic load per guard. *)
+let with_faults plan f =
+  let spec =
+    match plan with Some _ -> plan | None -> Sys.getenv_opt "DRIVEPERF_FAULTS"
+  in
+  match spec with
+  | None -> f ()
+  | Some spec -> (
+    match Dpfault.parse spec with
+    | Error msg ->
+      Dpobs.Log.error "--fault-plan: %s" msg;
+      exit 2
+    | Ok plan ->
+      Dpfault.install plan;
+      Fun.protect ~finally:Dpfault.clear f)
+
+(* Probe every stream at the [corpus.read] site; quarantined streams are
+   dropped from the analysed corpus and accounted in the coverage block. *)
+let screen_corpus corpus = Dpcore.Pipeline.screen corpus
+
+let print_coverage (cov : Dpcore.Pipeline.coverage) =
+  if cov.Dpcore.Pipeline.cov_quarantined <> [] then begin
+    Dputil.Table.print (Dpcore.Report.stream_coverage cov);
+    print_newline ()
+  end
 
 (* Run [f pool] with a pool of [j] domains (0 = auto), shut down after. *)
 let with_cli_pool j f =
@@ -343,11 +387,14 @@ let generate_cmd =
 
 (* --- impact --- *)
 
-let impact corpus pats breakdown per_scenario cache j mode obs =
+let impact corpus pats breakdown per_scenario cache j mode faults obs =
   with_obs obs @@ fun () ->
+  with_faults faults @@ fun () ->
   let components = components_of pats in
   with_cli_pool j @@ fun pool ->
   let corpus = read_corpus ~pool ~mode corpus in
+  let corpus, cov = screen_corpus corpus in
+  print_coverage cov;
   with_snapshot ~cache ~components pool corpus @@ fun snap ->
   let r =
     match snap with
@@ -401,15 +448,18 @@ let impact_cmd =
     (Cmd.info "impact" ~doc:"Impact analysis (Section 3)")
     Term.(
       const impact $ corpus_arg $ components_arg $ breakdown $ per_scenario
-      $ cache_arg $ domains_arg $ mode_arg $ obs_opts_term)
+      $ cache_arg $ domains_arg $ mode_arg $ fault_arg $ obs_opts_term)
 
 (* --- causality --- *)
 
-let causality corpus pats scenario k top j mode obs =
+let causality corpus pats scenario k top j mode faults obs =
   with_obs obs @@ fun () ->
+  with_faults faults @@ fun () ->
   let components = components_of pats in
   with_cli_pool j @@ fun pool ->
   let corpus = read_corpus ~pool ~mode corpus in
+  let corpus, cov = screen_corpus corpus in
+  print_coverage cov;
   let r = Dpcore.Pipeline.run_scenario ~pool ~k components corpus scenario in
   let f, m, s = Dpcore.Classify.counts r.Dpcore.Pipeline.classification in
   Format.printf "scenario %s: %d instances (fast %d / middle %d / slow %d)@."
@@ -464,16 +514,19 @@ let causality_cmd =
     (Cmd.info "causality" ~doc:"Causality analysis (Section 4)")
     Term.(
       const causality $ corpus_arg $ components_arg $ scenario $ k $ top
-      $ domains_arg $ mode_arg $ obs_opts_term)
+      $ domains_arg $ mode_arg $ fault_arg $ obs_opts_term)
 
 (* --- report --- *)
 
-let report corpus json cache j mode obs =
+let report corpus json cache j mode faults obs =
   with_obs obs @@ fun () ->
+  with_faults faults @@ fun () ->
   let components = Dpcore.Component.drivers in
   if json then Dpcore.Provenance.enable ();
   with_cli_pool j @@ fun pool ->
   let corpus = read_corpus ~pool ~mode corpus in
+  let corpus, cov = screen_corpus corpus in
+  if not json then print_coverage cov;
   with_snapshot ~cache ~components pool corpus @@ fun snap ->
   let impact, impact_prov =
     match snap with
@@ -511,8 +564,8 @@ let report corpus json cache j mode obs =
     in
     print_string
       (Dputil.Jsonw.to_string
-         (Dpcore.Report.Json.document ~impact ~impact_prov ~modules
-            ~scenarios:named))
+         (Dpcore.Report.Json.document ~coverage:cov ~impact ~impact_prov
+            ~modules ~scenarios:named ()))
   end
   else begin
     let classes =
@@ -548,7 +601,7 @@ let report_cmd =
     (Cmd.info "report" ~doc:"Regenerate the paper's tables")
     Term.(
       const report $ corpus_arg $ json_arg $ cache_arg $ domains_arg
-      $ mode_arg $ obs_opts_term)
+      $ mode_arg $ fault_arg $ obs_opts_term)
 
 (* --- case --- *)
 
@@ -719,8 +772,9 @@ let import_etw_cmd =
 
 (* --- convert --- *)
 
-let convert input out j mode obs =
+let convert input out j mode faults obs =
   with_obs obs @@ fun () ->
+  with_faults faults @@ fun () ->
   with_cli_pool j @@ fun pool ->
   let in_format = sniff_format input in
   let corpus = load_corpus ~pool ~mode input in
@@ -753,7 +807,9 @@ let convert_cmd =
   Cmd.v
     (Cmd.info "convert"
        ~doc:"Re-encode a corpus (e.g. upgrade a v1 file to framed v2)")
-    Term.(const convert $ input $ out $ domains_arg $ mode_arg $ obs_opts_term)
+    Term.(
+      const convert $ input $ out $ domains_arg $ mode_arg $ fault_arg
+      $ obs_opts_term)
 
 (* --- diff --- *)
 
@@ -1054,10 +1110,11 @@ let explain_cmd =
 
 (* --- stats --- *)
 
-let stats corpus mode obs =
+let stats corpus mode faults obs =
   (* Counters first, via the telemetry registry ([Corpus_stats.publish]):
      the same numbers any instrumented run exports with --metrics-out. *)
   with_obs ~metrics:true obs @@ fun () ->
+  with_faults faults @@ fun () ->
   let corpus = read_corpus ~mode corpus in
   let s = Dptrace.Corpus_stats.compute corpus in
   Dptrace.Corpus_stats.publish s;
@@ -1069,7 +1126,7 @@ let stats corpus mode obs =
 let stats_cmd =
   Cmd.v
     (Cmd.info "stats" ~doc:"Descriptive statistics of a corpus")
-    Term.(const stats $ corpus_arg $ mode_arg $ obs_opts_term)
+    Term.(const stats $ corpus_arg $ mode_arg $ fault_arg $ obs_opts_term)
 
 (* --- export-trace / flame: visual observability --- *)
 
@@ -1287,13 +1344,15 @@ let timeline_cmd =
 
 (* --- analyze: the one-shot full report --- *)
 
-let analyze corpus_path out json top_patterns_n cache j mode obs =
+let analyze corpus_path out json top_patterns_n cache j mode faults obs =
   with_obs obs @@ fun () ->
+  with_faults faults @@ fun () ->
   let components = Dpcore.Component.drivers in
   if json then begin
     Dpcore.Provenance.enable ();
     with_cli_pool j @@ fun pool ->
     let corpus = read_corpus ~pool ~mode corpus_path in
+    let corpus, cov = screen_corpus corpus in
     with_snapshot ~cache ~components pool corpus @@ fun snap ->
     let impact, impact_prov =
       match snap with
@@ -1319,8 +1378,8 @@ let analyze corpus_path out json top_patterns_n cache j mode obs =
           | None -> Dpcore.Pipeline.run_all ~pool components corpus)
     in
     let doc =
-      Dpcore.Report.Json.document ~impact ~impact_prov ~modules
-        ~scenarios:named
+      Dpcore.Report.Json.document ~coverage:cov ~impact ~impact_prov ~modules
+        ~scenarios:named ()
     in
     (match out with
     | Some path ->
@@ -1334,6 +1393,7 @@ let analyze corpus_path out json top_patterns_n cache j mode obs =
   else begin
   with_cli_pool j @@ fun pool ->
   let corpus = read_corpus ~pool ~mode corpus_path in
+  let corpus, cov = screen_corpus corpus in
   with_snapshot ~cache ~components pool corpus @@ fun snap ->
   let buf = Buffer.create 65536 in
   let line fmt = Format.kasprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
@@ -1352,6 +1412,11 @@ let analyze corpus_path out json top_patterns_n cache j mode obs =
   line "## Corpus";
   line "";
   block (Dptrace.Corpus_stats.render (Dptrace.Corpus_stats.compute corpus));
+  if cov.Dpcore.Pipeline.cov_quarantined <> [] then begin
+    line "### Coverage";
+    line "";
+    block (Dputil.Table.render (Dpcore.Report.stream_coverage cov))
+  end;
   line "## Impact analysis (device drivers)";
   line "";
   block
@@ -1467,7 +1532,7 @@ let analyze_cmd =
        ~doc:"Produce the full analyst report (impact + causality + witnesses)")
     Term.(
       const analyze $ corpus_arg $ out $ json_arg $ top $ cache_arg
-      $ domains_arg $ mode_arg $ obs_opts_term)
+      $ domains_arg $ mode_arg $ fault_arg $ obs_opts_term)
 
 (* --- cache: snapshot-cache directory maintenance --- *)
 
@@ -1549,7 +1614,8 @@ let cache_cmd =
 
 let monitor dir replay listen interval max_ticks window top_patterns
     replicates seed min_support threshold lag_ms cache alert_log metrics_out
-    view_dir pats j mode =
+    view_dir pats j mode faults =
+  with_faults faults @@ fun () ->
   let components = components_of pats in
   let rules =
     [
@@ -1727,7 +1793,73 @@ let monitor_cmd =
       const monitor $ dir $ replay $ listen $ interval $ max_ticks $ window
       $ top_patterns $ replicates $ seed $ min_support $ threshold $ lag_ms
       $ cache_arg $ alert_log $ metrics_out $ view_dir $ components_arg
-      $ domains_arg $ mode_arg)
+      $ domains_arg $ mode_arg $ fault_arg)
+
+(* --- faults: describe / replay an injection plan --- *)
+
+let faults_run plan site calls =
+  match Dpfault.parse plan with
+  | Error msg ->
+    Dpobs.Log.error "faults: %s" msg;
+    2
+  | Ok plan ->
+    print_string (Dpfault.describe plan);
+    let replay_site s =
+      Printf.printf "\nreplay %s (seed %d):\n" (Dpfault.site_name s)
+        plan.Dpfault.p_seed;
+      for i = 0 to calls - 1 do
+        Printf.printf "  call %4d: %s\n" i
+          (match Dpfault.draw plan s i with
+          | None -> "ok"
+          | Some k -> Dpfault.kind_name k)
+      done
+    in
+    if calls > 0 then begin
+      match site with
+      | Some name -> (
+        match Dpfault.site_of_name name with
+        | Some s -> replay_site s
+        | None ->
+          Dpobs.Log.error "faults: unknown site %S" name;
+          exit 2)
+      | None ->
+        (* No site singled out: replay every site the plan rules over. *)
+        List.iter (fun (s, _) -> replay_site s) plan.Dpfault.p_rules
+    end;
+    0
+
+let faults_cmd =
+  let plan =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"PLAN"
+          ~doc:
+            "SEED:SPEC — a preset (io-flaky, torn-writes, slow-disk) or \
+             comma-separated site=kind@prob[!attempts] clauses.")
+  in
+  let site =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "site" ] ~docv:"SITE"
+          ~doc:
+            "Restrict $(b,--calls) replay to this site (e.g. \
+             corpus.read); default replays every ruled site.")
+  in
+  let calls =
+    Arg.(
+      value & opt int 0
+      & info [ "calls" ] ~docv:"N"
+          ~doc:
+            "Also print the deterministic outcome of the first N calls \
+             per replayed site — the exact schedule any run under this \
+             plan experiences.")
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:"Describe or replay a deterministic fault-injection plan")
+    Term.(const faults_run $ plan $ site $ calls)
 
 let main_cmd =
   let doc = "trace-based performance comprehension for device drivers" in
@@ -1755,6 +1887,7 @@ let main_cmd =
       flame_cmd;
       cache_cmd;
       monitor_cmd;
+      faults_cmd;
     ]
 
 (* Arm DRIVEPERF_LOG before command dispatch so the level also applies to

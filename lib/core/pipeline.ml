@@ -302,3 +302,53 @@ let driver_cost_fraction r =
   Dputil.Stats.ratio
     (float_of_int (r.slow_impact.Impact.d_waitdist + r.slow_impact.Impact.d_run))
     (float_of_int r.slow_impact.Impact.d_scn)
+
+(* --- fault screening: graceful degradation under injected faults --- *)
+
+type coverage = {
+  cov_total : int;
+  cov_analyzed : int;
+  cov_quarantined : (int * string) list;
+}
+
+let full_coverage (corpus : Dptrace.Corpus.t) =
+  let n = Dptrace.Corpus.stream_count corpus in
+  { cov_total = n; cov_analyzed = n; cov_quarantined = [] }
+
+let screen (corpus : Dptrace.Corpus.t) =
+  if not (Dpfault.armed ()) then (corpus, full_coverage corpus)
+  else begin
+    (* One [corpus.read] probe per stream, in corpus order (so the
+       plan's per-call draws are reproducible): a stream whose retries
+       exhaust is quarantined with its reason instead of aborting the
+       run. The kept streams preserve corpus order, so a screening that
+       quarantines nothing leaves every downstream result — text and
+       JSON — byte-identical to a fault-free run. *)
+    let kept, quarantined =
+      List.partition_map
+        (fun (st : Dptrace.Stream.t) ->
+          match
+            Dpfault.Retry.run Dpfault.Corpus_read (fun () ->
+                Dpfault.guard Dpfault.Corpus_read)
+          with
+          | () -> Left st
+          | exception Dpfault.Injected { kind; _ } ->
+            Right
+              ( st.Dptrace.Stream.id,
+                Printf.sprintf
+                  "injected %s at corpus.read exhausted %d attempt(s)"
+                  (Dpfault.kind_name kind)
+                  (Dpfault.Retry.budget Dpfault.Corpus_read) ))
+        corpus.Dptrace.Corpus.streams
+    in
+    List.iter
+      (fun (sid, reason) ->
+        Dpobs.Log.warn "stream %d quarantined: %s" sid reason)
+      quarantined;
+    ( Dptrace.Corpus.create ~streams:kept ~specs:corpus.Dptrace.Corpus.specs,
+      {
+        cov_total = Dptrace.Corpus.stream_count corpus;
+        cov_analyzed = List.length kept;
+        cov_quarantined = quarantined;
+      } )
+  end

@@ -145,3 +145,27 @@ val driver_cost_fraction : scenario_result -> float
     scenario time — the "Driver Cost" column of Table 2. The ITC/TTC
     denominator is instead the slow AWG's end-node mass plus the pruned
     non-optimisable mass, so both coverages stay within [\[0,1\]]. *)
+
+(** {1 Fault screening (graceful degradation)}
+
+    When a {!Dpfault} plan is armed, every stream passes a
+    [corpus.read] probe (with the plan's retry budget) before analysis;
+    streams whose budget exhausts are quarantined rather than aborting
+    the run, and the report gains an explicit coverage block. *)
+
+type coverage = {
+  cov_total : int;  (** streams in the corpus before screening *)
+  cov_analyzed : int;  (** streams that passed and were analysed *)
+  cov_quarantined : (int * string) list;
+      (** quarantined [(stream id, reason)], in corpus order *)
+}
+
+val full_coverage : Dptrace.Corpus.t -> coverage
+(** Every stream analysed, nothing quarantined. *)
+
+val screen : Dptrace.Corpus.t -> Dptrace.Corpus.t * coverage
+(** Probe each stream's [corpus.read] site under the armed fault plan
+    and drop the streams whose retries exhaust. With no plan armed this
+    is free (one atomic load) and returns the corpus unchanged; with
+    zero quarantines the returned corpus is the input (same streams,
+    same order), so downstream output stays byte-identical. *)

@@ -135,6 +135,22 @@ let coverages entries =
   end;
   t
 
+(* The fault-screening coverage block: printed only when something was
+   actually quarantined, so fault-free output stays byte-identical. *)
+let stream_coverage (cov : Pipeline.coverage) =
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf "Coverage: %d/%d stream(s) analyzed, %d quarantined"
+           cov.Pipeline.cov_analyzed cov.Pipeline.cov_total
+           (List.length cov.Pipeline.cov_quarantined))
+      [ ("Stream", Table.Right); ("Reason", Table.Left) ]
+  in
+  List.iter
+    (fun (sid, reason) -> Table.add_row t [ string_of_int sid; reason ])
+    cov.Pipeline.cov_quarantined;
+  t
+
 let ranking entries =
   let t =
     Table.create ~title:"Table 3: execution-time coverage by ranking"
@@ -411,14 +427,39 @@ module Json = struct
         ("patterns", J.Arr (List.mapi (fun i p -> of_pattern ~rank:(i + 1) p) patterns));
       ]
 
-  let document ~impact ~impact_prov ~modules ~scenarios =
+  let of_coverage (cov : Pipeline.coverage) =
     J.Obj
       [
-        ("tool", J.str "driveperf");
-        ("format", J.int 1);
-        ("provenance_enabled", J.Bool (Provenance.enabled ()));
-        ("impact", of_impact ~prov:impact_prov impact);
-        ("modules", of_module_rows ~prov:impact_prov modules);
-        ("scenarios", J.Arr (List.map (fun (n, r) -> of_scenario n r) scenarios));
+        ("streams_total", J.int cov.Pipeline.cov_total);
+        ("streams_analyzed", J.int cov.Pipeline.cov_analyzed);
+        ( "streams_quarantined",
+          J.Arr
+            (List.map
+               (fun (sid, reason) ->
+                 J.Obj [ ("stream", J.int sid); ("reason", J.str reason) ])
+               cov.Pipeline.cov_quarantined) );
       ]
+
+  let document ?coverage ~impact ~impact_prov ~modules ~scenarios () =
+    (* The coverage block appears only when a stream was quarantined:
+       a fault-free (or fully retried) run emits the pre-fault-layer
+       document byte for byte. *)
+    let coverage =
+      match coverage with
+      | Some cov when cov.Pipeline.cov_quarantined <> [] ->
+        [ ("coverage", of_coverage cov) ]
+      | _ -> []
+    in
+    J.Obj
+      ([
+         ("tool", J.str "driveperf");
+         ("format", J.int 1);
+         ("provenance_enabled", J.Bool (Provenance.enabled ()));
+       ]
+      @ coverage
+      @ [
+          ("impact", of_impact ~prov:impact_prov impact);
+          ("modules", of_module_rows ~prov:impact_prov modules);
+          ("scenarios", J.Arr (List.map (fun (n, r) -> of_scenario n r) scenarios));
+        ])
 end

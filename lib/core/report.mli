@@ -22,6 +22,11 @@ val scenario_classes : (string * Classify.t) list -> Dputil.Table.t
 val coverages : (string * Pipeline.scenario_result) list -> Dputil.Table.t
 (** Table 2: Driver Cost %, ITC, TTC per scenario (plus average row). *)
 
+val stream_coverage : Pipeline.coverage -> Dputil.Table.t
+(** Graceful-degradation accounting: which streams the analysis kept and
+    which it quarantined (with the injected-fault reason). Only worth
+    printing when something was quarantined. *)
+
 val ranking : (string * Pipeline.scenario_result) list -> Dputil.Table.t
 (** Table 3: #patterns and execution-time coverage of the top
     10 / 20 / 30 % by rank (plus average row). *)
@@ -86,10 +91,16 @@ module Json : sig
       summary and the full ranked pattern list. *)
 
   val document :
+    ?coverage:Pipeline.coverage ->
     impact:Impact.result ->
     impact_prov:Provenance.impact ->
     modules:Impact.module_row list ->
     scenarios:(string * Pipeline.scenario_result) list ->
+    unit ->
     Dputil.Jsonw.t
-  (** The whole-report document emitted by [driveperf report --json]. *)
+  (** The whole-report document emitted by [driveperf report --json].
+      When [coverage] records quarantined streams, a ["coverage"] member
+      reports [streams_total] / [streams_analyzed] and the per-stream
+      quarantine reasons; a run with nothing quarantined emits the
+      pre-fault-layer document byte for byte. *)
 end

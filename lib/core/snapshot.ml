@@ -533,7 +533,7 @@ let le32_at (s : string) i =
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
-    ~finally:(fun () -> close_in ic)
+    ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
 (* Parse one cache file into [feed key entry] (per-stream entries) and
@@ -659,13 +659,41 @@ let save t =
       (List.sort compare scen_names);
     let path = file_of ~dir ~fp:t.fp in
     let tmp = path ^ ".tmp" in
-    let oc = open_out_bin tmp in
-    Fun.protect
-      ~finally:(fun () -> close_out oc)
-      (fun () -> Buffer.output_buffer oc buf);
-    Sys.rename tmp path;
-    if Dpobs.metrics_on () then
-      Dpobs.Metrics.add (Lazy.force bytes_c) (Buffer.length buf)
+    (* [snapshot.write] fault site. A [Torn_write] really persists only
+       a prefix of the tmp file before failing, other kinds fail before
+       writing; every retry rewrites the tmp from offset 0. Only a fully
+       written tmp reaches the rename, so whatever the plan does the
+       published cache file is never replaced by torn data — the
+       tmp+rename atomicity this site exists to prove. *)
+    let write_tmp () =
+      (match Dpfault.check Dpfault.Snapshot_write with
+      | None -> ()
+      | Some Dpfault.Torn_write ->
+        let data = Buffer.contents buf in
+        let oc = open_out_bin tmp in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_substring oc data 0 (String.length data / 2));
+        raise
+          (Dpfault.Injected
+             { site = Dpfault.Snapshot_write; kind = Dpfault.Torn_write })
+      | Some kind -> Dpfault.act Dpfault.Snapshot_write kind);
+      let oc = open_out_bin tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> Buffer.output_buffer oc buf)
+    in
+    (match Dpfault.Retry.run Dpfault.Snapshot_write write_tmp with
+    | () ->
+      Sys.rename tmp path;
+      if Dpobs.metrics_on () then
+        Dpobs.Metrics.add (Lazy.force bytes_c) (Buffer.length buf)
+    | exception Dpfault.Injected _ ->
+      (* Budget spent: abandon this save. The previous cache file (if
+         any) stays authoritative; the leftover tmp is overwritten by
+         the next successful save and never parsed as a snapshot. *)
+      Dpobs.Log.warn
+        "snapshot: save of %s abandoned after injected write faults" path)
 
 let key_of = Codec_v2.stream_key
 

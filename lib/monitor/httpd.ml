@@ -108,8 +108,19 @@ let poll t ~timeout_s ~body =
     match Unix.select [ t.sock ] [] [] timeout_s with
     | [], _, _ -> false
     | _ :: _, _, _ -> (
-      match Unix.accept t.sock with
-      | fd, _ ->
+      (* [httpd.accept] fault site: injected EINTR (and the real thing)
+         retries the accept; an exhausted budget degrades to "no
+         connection this poll" — the monitor's tick loop is never
+         disturbed by a flaky scrape. *)
+      match
+        Dpfault.Retry.run_default Dpfault.Httpd_accept
+          ~default:(fun () -> None)
+          (fun () ->
+            Dpfault.guard Dpfault.Httpd_accept;
+            Some (Unix.accept t.sock))
+      with
+      | None -> false
+      | Some (fd, _) ->
         Fun.protect
           ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
           (fun () -> serve_client fd ~body);

@@ -156,14 +156,37 @@ let advance_clock t d = t.vclock <- Some (now_ms t + d)
 
 (* --- feeding --- *)
 
+(* [monitor.stat] fault site: injected stat races (and real transient
+   errors) retry with backoff; a spent budget reports the same (0, 0)
+   the genuine-error path always did — the file just looks unchanged
+   until a later tick sees it cleanly. *)
 let stat_info path =
-  match Unix.stat path with
+  match
+    Dpfault.Retry.run Dpfault.Monitor_stat (fun () ->
+        Dpfault.guard Dpfault.Monitor_stat;
+        Unix.stat path)
+  with
   | { Unix.st_mtime; st_size; _ } ->
     (int_of_float (st_mtime *. 1000.0), st_size)
-  | exception Unix.Unix_error _ -> (0, 0)
+  | exception (Unix.Unix_error _ | Dpfault.Injected _) -> (0, 0)
 
 let ingest t ?mtime_ms path =
-  match Corpus_dir.load ?pool:t.pool ~mode:t.config.mode path with
+  (* [monitor.tail] fault site: the re-read of a changed file. Exhausted
+     retries funnel into the parse-failure path, so the file is counted,
+     alerted on once, and retried when it changes again. *)
+  match
+    match
+      Dpfault.Retry.run Dpfault.Monitor_tail (fun () ->
+          Dpfault.guard Dpfault.Monitor_tail;
+          Corpus_dir.load ?pool:t.pool ~mode:t.config.mode path)
+    with
+    | result -> result
+    | exception Dpfault.Injected { site; kind } ->
+      Error
+        (Printf.sprintf
+           "%s: injected %s fault at %s exhausted the retry budget" path
+           (Dpfault.kind_name kind) (Dpfault.site_name site))
+  with
   | Error msg ->
     Hashtbl.replace t.failed path (stat_info path);
     M.incr t.m_parse_failures;
@@ -547,7 +570,7 @@ let parse_manifest path =
     try open_in path
     with Sys_error m -> failwith (Printf.sprintf "monitor: %s" m)
   in
-  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
   let bad line_no line =
     failwith
       (Printf.sprintf "%s:%d: bad manifest directive %S" path line_no line)

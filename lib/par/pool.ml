@@ -131,6 +131,12 @@ let run_jobs : 'b. t -> (unit -> 'b) array -> 'b array =
   let remaining = ref n in
   let task i () =
     let t0 = if Dpobs.metrics_on () then Dpobs.now_ns () else 0L in
+    (* Fault probe before the job: injected latency stalls this task,
+       transient failures retry the probe, and an exhausted budget
+       proceeds unguarded — the pool degrades, it never aborts. The
+       thunk itself runs exactly once either way. *)
+    Dpfault.Retry.run_default Dpfault.Pool_task ~default:ignore (fun () ->
+        Dpfault.guard Dpfault.Pool_task);
     (* Distinct domains write distinct slots, and every slot is written
        before the final [remaining] decrement is observed under the
        mutex, so the caller reads fully published values. *)

@@ -208,4 +208,4 @@ let save path c =
 
 let load path =
   let ic = open_in_bin path in
-  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_corpus ic)
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> read_corpus ic)

@@ -234,7 +234,7 @@ let save path c =
 let load path =
   let ic = open_in_bin path in
   Fun.protect
-    ~finally:(fun () -> close_in ic)
+    ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
       let n = in_channel_length ic in
       decode (really_input_string ic n))

@@ -602,5 +602,5 @@ let decode ?(mode = `Strict) ?pool data = load_src mode pool (src_of_string data
 let load ?(mode = `Strict) ?pool path =
   let ic = open_in_bin path in
   Fun.protect
-    ~finally:(fun () -> close_in ic)
+    ~finally:(fun () -> close_in_noerr ic)
     (fun () -> load_src mode pool (src_of_channel ic))

@@ -12,9 +12,11 @@ let is_text_path path = Filename.check_suffix path ".dpt"
 let is_corpus_file path =
   is_binary_path path || is_framed_path path || is_text_path path
 
+(* Reads close with [close_in_noerr]: a raising close must not mask the
+   decode exception as [Fun.Finally_raised]. *)
 let sniff_format path =
   let ic = open_in_bin path in
-  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
   let buf = Bytes.create 7 in
   let n = input ic buf 0 7 in
   let prefix = Bytes.sub_string buf 0 n in
@@ -57,13 +59,20 @@ type loaded = {
 
 let file_size path =
   let ic = open_in_bin path in
-  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
   in_channel_length ic
 
 let load ?pool ?(mode = `Strict) path =
   match
-    let fmt = sniff_format path in
-    let bytes = file_size path in
+    (* The open/sniff is the [corpus.open] fault site: transient
+       injected errors (and real EINTR/EAGAIN) retry with backoff; a
+       spent budget surfaces through the ordinary [Error _] channel so
+       callers degrade exactly as they do for a corrupt file. *)
+    let fmt, bytes =
+      Dpfault.Retry.run Dpfault.Corpus_open (fun () ->
+          Dpfault.guard Dpfault.Corpus_open;
+          (sniff_format path, file_size path))
+    in
     match fmt with
     | Framed ->
       let corpus, report = Codec_v2.load ~mode ?pool path in
@@ -82,3 +91,7 @@ let load ?pool ?(mode = `Strict) path =
   | exception Codec.Parse_error { line; message } ->
     Error (Printf.sprintf "%s:%d: %s" path line message)
   | exception Sys_error m -> Error m
+  | exception Dpfault.Injected { site; kind } ->
+    Error
+      (Printf.sprintf "%s: injected %s fault at %s exhausted the retry budget"
+         path (Dpfault.kind_name kind) (Dpfault.site_name site))

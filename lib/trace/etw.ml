@@ -254,7 +254,7 @@ let to_dump ?(sample_period = Dputil.Time.ms 1) (st : Stream.t) =
 let load ?stream_id ?sample_period path =
   let ic = open_in path in
   Fun.protect
-    ~finally:(fun () -> close_in ic)
+    ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
       let n = in_channel_length ic in
       let text = really_input_string ic n in

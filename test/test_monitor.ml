@@ -281,6 +281,115 @@ let test_manifest_errors () =
   | exception Failure _ -> ()
   | _ -> Alcotest.fail "unreadable manifest should raise"
 
+(* --- churn: injected stat races, flaky tails, injected latency --- *)
+
+let with_plan spec f =
+  match Dpfault.parse spec with
+  | Error msg -> Alcotest.failf "parse %S: %s" spec msg
+  | Ok plan ->
+    Dpfault.install plan;
+    Fun.protect ~finally:Dpfault.clear f
+
+(* Transient EINTRs on the tail re-read and races on the stat, all under
+   the default retry budget: every injection is absorbed, so the whole
+   replay — alert log and OpenMetrics exposition — stays byte-identical
+   to a fault-free run. No alert is lost, none is duplicated. *)
+let test_flaky_tail_replay_identical () =
+  let fixture_dir = Lazy.force fixture in
+  let manifest = regression_manifest fixture_dir in
+  let dir = fresh_dir () in
+  let run tag spec =
+    let cfg = config ~dir ~tag in
+    let go () =
+      ignore (Monitor.replay cfg ~manifest : Monitor.replay_summary)
+    in
+    (match spec with None -> go () | Some s -> with_plan s go);
+    ( read_file (Option.get cfg.Monitor.alert_log),
+      read_file (Option.get cfg.Monitor.metrics_out) )
+  in
+  let log0, om0 = run "clean" None in
+  let log1, om1 =
+    run "flaky" (Some "7:monitor.tail=eintr@0.3,monitor.stat=race@0.3")
+  in
+  check Alcotest.string "alert log byte-identical under churn" log0 log1;
+  check Alcotest.string "exposition byte-identical under churn" om0 om1
+
+(* Injected latency (the slow-disk preset): the virtual clock ignores
+   wall-time stalls, and a reinstalled plan replays the same schedule, so
+   two slow-disk replays match each other and the fault-free log. *)
+let test_slow_disk_replay_deterministic () =
+  let fixture_dir = Lazy.force fixture in
+  let manifest = regression_manifest fixture_dir in
+  let dir = fresh_dir () in
+  let run tag spec =
+    let cfg = config ~dir ~tag in
+    let go () =
+      ignore (Monitor.replay cfg ~manifest : Monitor.replay_summary)
+    in
+    (match spec with None -> go () | Some s -> with_plan s go);
+    read_file (Option.get cfg.Monitor.alert_log)
+  in
+  let clean = run "lat-clean" None in
+  let slow1 = run "lat-one" (Some "3:slow-disk") in
+  let slow2 = run "lat-two" (Some "3:slow-disk") in
+  check Alcotest.string "slow-disk replays match each other" slow1 slow2;
+  check Alcotest.string "latency never changes the alerts" clean slow1
+
+(* Stat races during directory scans: the failed-file bookkeeping keeps
+   its stats through retries, so a garbage file is alerted on exactly
+   once and not re-ingested until it actually changes — then its rewrite
+   is picked up like any rotation. *)
+let test_scan_under_stat_races () =
+  let dir = fresh_dir () in
+  gen_save ~seed:1 ~scale:0.05 ~cross:false (Filename.concat dir "a.dpf");
+  let garbage = Filename.concat dir "b.dpf" in
+  write_file garbage [ "this is not a corpus" ];
+  let t = Monitor.create { Monitor.default_config with replicates = 10 } in
+  Fun.protect ~finally:(fun () -> Monitor.close t) @@ fun () ->
+  Monitor.set_clock t 0;
+  with_plan "9:monitor.stat=race@0.4" @@ fun () ->
+  check Alcotest.int "first scan ingests both" 2 (Monitor.scan t dir);
+  let parse_failures alerts =
+    List.length
+      (List.filter (fun a -> a.Rules.a_rule = "parse_failure") alerts)
+  in
+  check Alcotest.int "garbage alerted once" 1 (parse_failures (Monitor.tick t));
+  check Alcotest.int "no duplicate ingestion" 0 (Monitor.scan t dir);
+  check Alcotest.int "no duplicate alert" 0 (parse_failures (Monitor.tick t));
+  (* Rotation: the bad file is rewritten with real data; the change is
+     seen through the races and the alert is not re-raised. *)
+  gen_save ~seed:3 ~scale:0.06 ~cross:false garbage;
+  check Alcotest.int "rotated file reloads" 1 (Monitor.scan t dir);
+  check Alcotest.int "recovery is silent" 0 (parse_failures (Monitor.tick t))
+
+(* A tail whose retry budget exhausts degrades into the parse-failure
+   path — counted, alerted once — and recovers on the next clean read. *)
+let test_tail_exhaustion_recovers () =
+  let fixture_dir = Lazy.force fixture in
+  let dir = fresh_dir () in
+  let t = Monitor.create (config ~dir ~tag:"exhaust") in
+  Fun.protect ~finally:(fun () -> Monitor.close t) @@ fun () ->
+  Monitor.set_clock t 0;
+  let calm = Filename.concat fixture_dir "calm1.dpf" in
+  with_plan "5:monitor.tail=fail@1.0!2" (fun () ->
+      match Monitor.ingest t ~mtime_ms:0 calm with
+      | Ok () -> Alcotest.fail "exhausted tail must not load"
+      | Error msg ->
+        check Alcotest.bool "error names the injection" true
+          (contains msg "injected" && contains msg "monitor.tail"));
+  let alerts = Monitor.tick t in
+  check Alcotest.int "one parse-failure alert" 1
+    (List.length
+       (List.filter (fun a -> a.Rules.a_rule = "parse_failure") alerts));
+  (* Plan disarmed: the retry-on-change path reloads the file cleanly. *)
+  (match Monitor.ingest t ~mtime_ms:1 calm with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "clean re-read failed: %s" e);
+  let alerts = Monitor.tick t in
+  check Alcotest.int "no stale alert after recovery" 0
+    (List.length
+       (List.filter (fun a -> a.Rules.a_rule = "parse_failure") alerts))
+
 let () =
   Alcotest.run "monitor"
     [
@@ -309,5 +418,16 @@ let () =
         [
           Alcotest.test_case "OpenMetrics families and samples" `Slow
             test_openmetrics_exposition;
+        ] );
+      ( "churn",
+        [
+          Alcotest.test_case "flaky tail replay byte-identical" `Slow
+            test_flaky_tail_replay_identical;
+          Alcotest.test_case "slow-disk replay deterministic" `Slow
+            test_slow_disk_replay_deterministic;
+          Alcotest.test_case "stat races: no duplicate or lost alerts"
+            `Quick test_scan_under_stat_races;
+          Alcotest.test_case "tail exhaustion degrades and recovers" `Quick
+            test_tail_exhaustion_recovers;
         ] );
     ]

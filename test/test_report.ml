@@ -99,7 +99,7 @@ let parsed_document =
     (let impact, prov, modules, scenarios = Lazy.force analyzed in
      let doc =
        with_provenance (fun () ->
-           Report.Json.document ~impact ~impact_prov:prov ~modules ~scenarios)
+           Report.Json.document ~impact ~impact_prov:prov ~modules ~scenarios ())
      in
      let text = J.to_string doc in
      (impact, modules, scenarios, text, Tjson.parse text))
@@ -176,7 +176,7 @@ let test_json_deterministic () =
   let render () =
     with_provenance (fun () ->
         J.to_string
-          (Report.Json.document ~impact ~impact_prov:prov ~modules ~scenarios))
+          (Report.Json.document ~impact ~impact_prov:prov ~modules ~scenarios ()))
   in
   check Alcotest.string "two renders byte-identical" (render ()) (render ())
 
@@ -186,7 +186,7 @@ let test_json_disabled_mode_is_bare () =
      document says so and every module's provenance array is empty. *)
   let doc =
     Report.Json.document ~impact ~impact_prov:Provenance.empty_impact ~modules
-      ~scenarios
+      ~scenarios ()
   in
   let v = Tjson.parse (J.to_string doc) in
   check Alcotest.bool "flag off" true

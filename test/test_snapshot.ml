@@ -60,14 +60,14 @@ let fresh_doc ?pool corpus =
   let modules = Impact.by_module components graphs in
   let named = Pipeline.run_all ?pool components corpus in
   Dputil.Jsonw.to_string
-    (Report.Json.document ~impact ~impact_prov ~modules ~scenarios:named)
+    (Report.Json.document ~impact ~impact_prov ~modules ~scenarios:named ())
 
 let snap_doc ?pool snap corpus =
   let impact, impact_prov = Pipeline.run_impact_prov_snap snap corpus in
   let modules = Pipeline.modules_snap snap corpus in
   let named = Pipeline.run_all_snap ?pool snap corpus in
   Dputil.Jsonw.to_string
-    (Report.Json.document ~impact ~impact_prov ~modules ~scenarios:named)
+    (Report.Json.document ~impact ~impact_prov ~modules ~scenarios:named ())
 
 let per_scenario_str l =
   String.concat "\n"
@@ -329,6 +329,111 @@ let test_gc_keeps_newest () =
   check Alcotest.bool "bytes reclaimed" true (reclaimed > 0);
   check Alcotest.int "one kept" 1 (List.length (Snapshot.list_files dir))
 
+(* --- crash consistency: kill points around the tmp+rename save --- *)
+
+let read_bin path = In_channel.with_open_bin path In_channel.input_all
+
+let with_plan spec f =
+  match Dpfault.parse spec with
+  | Error msg -> Alcotest.failf "parse %S: %s" spec msg
+  | Ok plan ->
+    Dpfault.install plan;
+    Fun.protect ~finally:Dpfault.clear f
+
+(* Kill point 1, a torn tmp write: the injected [Torn_write] persists
+   only a prefix of the tmp before failing, so the published cache file
+   must never change, the cache must keep serving every entry, and a
+   later clean save must recover — the rename is the commit point. *)
+let test_torn_write_never_replaces_cache () =
+  let corpus = gen 0.03 in
+  let dir = fresh_dir () in
+  let snap = open_snap ~dir corpus in
+  Snapshot.save snap;
+  let path =
+    match Snapshot.list_files dir with
+    | [ p ] -> p
+    | l -> Alcotest.failf "expected one cache file, got %d" (List.length l)
+  in
+  let clean = read_bin path in
+  with_plan "1:snapshot.write=torn@1.0!2" (fun () -> Snapshot.save snap);
+  check Alcotest.string "published file byte-untouched" clean (read_bin path);
+  let tmp = path ^ ".tmp" in
+  check Alcotest.bool "torn tmp left behind" true (Sys.file_exists tmp);
+  check Alcotest.bool "tmp really holds only a prefix" true
+    (String.length (read_bin tmp) < String.length clean);
+  (* The authoritative file still serves everything, bit-identically. *)
+  let warm = open_snap ~dir corpus in
+  let stats = Snapshot.stats warm in
+  check Alcotest.int "every stream still hits"
+    (List.length corpus.Corpus.streams)
+    stats.Snapshot.s_hits;
+  check_identical ~msg:"after abandoned save" warm corpus;
+  (* Recovery: the next clean save rewrites the tmp from offset 0 and
+     commits; the stale torn tmp is consumed by the rename. *)
+  Snapshot.save snap;
+  check Alcotest.bool "tmp renamed away" false (Sys.file_exists tmp);
+  check Alcotest.string "file is a pure function of its entries" clean
+    (read_bin path)
+
+(* Kill point 2, torn very first save: nothing gets published at all —
+   an absent cache beats a corrupt one. *)
+let test_torn_first_save_publishes_nothing () =
+  let corpus = gen 0.02 in
+  let dir = fresh_dir () in
+  let snap = open_snap ~dir corpus in
+  with_plan "1:snapshot.write=torn@1.0!3" (fun () -> Snapshot.save snap);
+  check Alcotest.(list string) "no cache file published" []
+    (Snapshot.list_files dir);
+  let reopened = open_snap ~dir corpus in
+  let stats = Snapshot.stats reopened in
+  check Alcotest.int "nothing to load" 0 stats.Snapshot.s_loaded;
+  check_identical ~msg:"absent cache degrades to misses" reopened corpus
+
+(* Kill point 3, a duplicate/garbage tmp from an earlier crash: a clean
+   save must simply overwrite it and publish intact data. *)
+let test_stale_garbage_tmp_overwritten () =
+  let corpus = gen 0.02 in
+  let dir = fresh_dir () in
+  let snap = open_snap ~dir corpus in
+  let fp =
+    Snapshot.fingerprint ~components ~specs:corpus.Corpus.specs
+      ~k:Dpcore.Mining.default_k ()
+  in
+  let tmp = Filename.concat dir (fp ^ ".dpsnap.tmp") in
+  Out_channel.with_open_bin tmp (fun oc ->
+      Out_channel.output_string oc "leftover garbage from a crash");
+  Snapshot.save snap;
+  check Alcotest.bool "tmp consumed by the rename" false
+    (Sys.file_exists tmp);
+  let warm = open_snap ~dir corpus in
+  check Alcotest.int "published file loads every entry"
+    (List.length corpus.Corpus.streams)
+    (Snapshot.stats warm).Snapshot.s_loaded;
+  check_identical ~msg:"after overwriting garbage tmp" warm corpus
+
+(* Kill point 4, the missing-rename crash: promote the torn tmp over the
+   cache file by hand (as if the machine died mid-publish with a broken
+   fs). The loader must drop the cut record, never serve corrupt data,
+   and [inspect] — the engine behind `driveperf cache verify` — must
+   count the damage. *)
+let test_torn_file_verifies_as_corrupt () =
+  let corpus = gen 0.03 in
+  let dir = fresh_dir () in
+  let snap = open_snap ~dir corpus in
+  Snapshot.save snap;
+  let path = List.hd (Snapshot.list_files dir) in
+  with_plan "1:snapshot.write=torn@1.0!1" (fun () -> Snapshot.save snap);
+  Sys.rename (path ^ ".tmp") path;
+  let fi = Snapshot.inspect path in
+  check Alcotest.bool "cache verify counts the torn record" true
+    (fi.Snapshot.fi_corrupt > 0
+    || fi.Snapshot.fi_entries < List.length corpus.Corpus.streams);
+  let snap = open_snap ~dir corpus in
+  let stats = Snapshot.stats snap in
+  check Alcotest.bool "cut entries reanalysed, not served" true
+    (stats.Snapshot.s_misses > 0);
+  check_identical ~msg:"torn file never corrupts results" snap corpus
+
 (* --- property: cached delta = from-scratch, random corpora and splits --- *)
 
 let prop_cached_equals_fresh =
@@ -384,6 +489,17 @@ let () =
             test_stale_entries_counted;
           Alcotest.test_case "gc keeps the newest files" `Quick
             test_gc_keeps_newest;
+        ] );
+      ( "crash consistency",
+        [
+          Alcotest.test_case "torn write never replaces the cache" `Slow
+            test_torn_write_never_replaces_cache;
+          Alcotest.test_case "torn first save publishes nothing" `Slow
+            test_torn_first_save_publishes_nothing;
+          Alcotest.test_case "stale garbage tmp overwritten" `Quick
+            test_stale_garbage_tmp_overwritten;
+          Alcotest.test_case "torn file counted by cache verify" `Slow
+            test_torn_file_verifies_as_corrupt;
         ] );
       ("properties", [ qcheck prop_cached_equals_fresh ]);
     ]

@@ -145,6 +145,19 @@ def gate_viz(base, cur):
                   base["bytes_per_slice"], cur["bytes_per_slice"], 50.0)
 
 
+def gate_fault(base, cur):
+    check("identical_results", cur.get("identical_results") is True,
+          f"current {cur.get('identical_results')}")
+    check("replay_identical", cur.get("replay_identical") is True,
+          f"current {cur.get('replay_identical')}")
+    bounded_above("disabled_overhead_pct",
+                  base["disabled_overhead_pct"], cur["disabled_overhead_pct"], 0.05)
+    # Hard ceiling regardless of baseline: disarmed guards must stay
+    # invisible in any workload.
+    check("disabled_overhead_pct<2", cur.get("disabled_overhead_pct", 100.0) < 2.0,
+          f"current {cur.get('disabled_overhead_pct', 100.0):.4f}% (hard ceiling 2%)")
+
+
 GATES = {
     "parallel-scaling": gate_parallel,
     "obs-overhead": gate_obs,
@@ -153,6 +166,7 @@ GATES = {
     "snapshot-cache": gate_snapshot,
     "monitor-tick": gate_monitor,
     "viz-export": gate_viz,
+    "fault-inject": gate_fault,
 }
 
 
